@@ -1,0 +1,45 @@
+// Command benchuo regenerates every table and figure of the paper's
+// evaluation (§7) on the synthetic datasets:
+//
+//	benchuo -exp table2      # dataset statistics
+//	benchuo -exp table3      # LUBM query statistics
+//	benchuo -exp table4      # DBpedia query statistics
+//	benchuo -exp fig10       # base/TT/CP/full verification
+//	benchuo -exp fig11       # execution time + join space
+//	benchuo -exp fig12       # scalability of full on LUBM
+//	benchuo -exp fig13       # comparison with LBR
+//	benchuo -exp all         # everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparqluo/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table2|table3|table4|fig10|fig11|fig12|fig13|all")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchuo: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	run("table2", func() error { bench.Table2(w); return nil })
+	run("table3", func() error { return bench.QueryStats(w, "LUBM") })
+	run("table4", func() error { return bench.QueryStats(w, "DBpedia") })
+	run("fig10", func() error { return bench.Fig10(w) })
+	run("fig11", func() error { return bench.Fig11(w) })
+	run("fig12", func() error { return bench.Fig12(w) })
+	run("fig13", func() error { return bench.Fig13(w) })
+}

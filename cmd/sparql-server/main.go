@@ -1,0 +1,52 @@
+// Command sparql-server serves an N-Triples dataset as a minimal SPARQL
+// endpoint:
+//
+//	sparql-server -data graph.nt -addr :8085
+//
+// then:
+//
+//	curl 'http://localhost:8085/sparql?query=SELECT+*+WHERE+{?s+?p+?o}+LIMIT+5'
+//	curl 'http://localhost:8085/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"sparqluo"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "N-Triples data file (required)")
+		addr     = flag.String("addr", ":8085", "listen address")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := sparqluo.Open()
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.Load(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	db.Freeze()
+	fmt.Printf("sparql-server: loaded %d triples, listening on %s\n", db.NumTriples(), *addr)
+
+	if err := http.ListenAndServe(*addr, sparqluo.NewHandler(db)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparql-server:", err)
+	os.Exit(1)
+}

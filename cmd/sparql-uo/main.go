@@ -1,0 +1,126 @@
+// Command sparql-uo loads an N-Triples file and executes a SPARQL-UO
+// query against it:
+//
+//	sparql-uo -data graph.nt -query query.rq [-strategy full] [-engine wco] [-explain] [-limit 20]
+//
+// The query may also be given inline with -q 'SELECT ...'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sparqluo"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "N-Triples data file (required)")
+		queryPath = flag.String("query", "", "file containing the SPARQL query")
+		queryText = flag.String("q", "", "inline SPARQL query text")
+		strategy  = flag.String("strategy", "full", "base|tt|cp|full")
+		engine    = flag.String("engine", "wco", "wco|binary")
+		explain   = flag.Bool("explain", false, "print the plan before/after transformation and exit")
+		limit     = flag.Int("limit", 20, "maximum solutions to print (0 = all)")
+	)
+	flag.Parse()
+
+	if *dataPath == "" || (*queryPath == "" && *queryText == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text := *queryText
+	if *queryPath != "" {
+		b, err := os.ReadFile(*queryPath)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(b)
+	}
+
+	db := sparqluo.Open()
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.Load(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	db.Freeze()
+	fmt.Printf("loaded %d triples\n", db.NumTriples())
+
+	opts := []sparqluo.Option{
+		sparqluo.WithStrategy(parseStrategy(*strategy)),
+		sparqluo.WithEngine(parseEngine(*engine)),
+	}
+
+	if *explain {
+		before, after, err := db.Explain(text, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("--- plan before transformation ---")
+		fmt.Println(before)
+		fmt.Println("--- plan after transformation ---")
+		fmt.Println(after)
+		return
+	}
+
+	res, err := db.Query(text, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d solutions in %v (transform %v, %d transformations, join space %.0f)\n",
+		res.Len(), res.ExecTime(), res.TransformTime(), res.Transformations(), res.JoinSpace())
+	for i, sol := range res.Solutions() {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more)\n", res.Len()-*limit)
+			break
+		}
+		names := make([]string, 0, len(sol))
+		for name := range sol {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("?%s=%s ", name, sol[name])
+		}
+		fmt.Println()
+	}
+}
+
+func parseStrategy(s string) sparqluo.Strategy {
+	switch s {
+	case "base":
+		return sparqluo.Base
+	case "tt":
+		return sparqluo.TT
+	case "cp":
+		return sparqluo.CP
+	case "full":
+		return sparqluo.Full
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", s))
+		return sparqluo.Full
+	}
+}
+
+func parseEngine(s string) sparqluo.Engine {
+	switch s {
+	case "wco":
+		return sparqluo.WCO
+	case "binary":
+		return sparqluo.BinaryJoin
+	default:
+		fatal(fmt.Errorf("unknown engine %q", s))
+		return sparqluo.WCO
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparql-uo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+package sparqluo_test
+
+import (
+	"sync"
+	"testing"
+
+	"sparqluo"
+	"sparqluo/internal/lubm"
+)
+
+// TestConcurrentQueries backs the documented guarantee that a frozen DB
+// is safe for concurrent readers: many goroutines run all strategies and
+// engines against one store simultaneously (run with -race to verify).
+func TestConcurrentQueries(t *testing.T) {
+	db := sparqluo.Open()
+	db.AddAll(lubm.Generate(lubm.DefaultConfig(2)))
+	db.Freeze()
+
+	const q = `
+		PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		SELECT * WHERE {
+			?x ub:worksFor ?d .
+			{ ?x ub:headOf ?d } UNION { ?p ub:publicationAuthor ?x }
+			OPTIONAL { ?x ub:emailAddress ?e }
+		}`
+
+	// Establish the expected result count once.
+	ref, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Len()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			strat := []sparqluo.Strategy{sparqluo.Base, sparqluo.TT, sparqluo.CP, sparqluo.Full}[i%4]
+			eng := []sparqluo.Engine{sparqluo.WCO, sparqluo.BinaryJoin}[i%2]
+			for rep := 0; rep < 4; rep++ {
+				res, err := db.Query(q, sparqluo.WithStrategy(strat), sparqluo.WithEngine(eng))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Len() != want {
+					errs <- errMismatch{got: res.Len(), want: want}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type errMismatch struct{ got, want int }
+
+func (e errMismatch) Error() string {
+	return "concurrent query result mismatch"
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a tiny RDF graph in memory and run a SPARQL query
+// combining UNION and OPTIONAL — the Figure 1 scenario of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sparqluo"
+)
+
+const data = `
+@prefix dbr: <http://dbpedia.org/resource/> .
+@prefix dbo: <http://dbpedia.org/ontology/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+dbr:George_W._Bush foaf:name "George Walker Bush"@en .
+dbr:George_W._Bush rdfs:label "George W. Bush"@en .
+dbr:George_W._Bush dbo:wikiPageWikiLink dbr:President_of_the_United_States .
+dbr:Bill_Clinton foaf:name "Bill Clinton"@en .
+dbr:Bill_Clinton dbo:wikiPageWikiLink dbr:President_of_the_United_States .
+dbr:Bill_Clinton owl:sameAs <http://freebase.example.org/Clinton_William_Jefferson> .
+`
+
+const query = `
+PREFIX dbr: <http://dbpedia.org/resource/>
+PREFIX dbo: <http://dbpedia.org/ontology/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX owl: <http://www.w3.org/2002/07/owl#>
+SELECT ?x ?name ?same WHERE {
+  ?x dbo:wikiPageWikiLink dbr:President_of_the_United_States .
+  { ?x foaf:name ?name } UNION { ?x rdfs:label ?name }
+  OPTIONAL { ?x owl:sameAs ?same }
+}`
+
+func main() {
+	db := sparqluo.Open()
+	if err := db.Load(strings.NewReader(data)); err != nil {
+		log.Fatal(err)
+	}
+	db.Freeze()
+
+	res, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d solutions:\n", res.Len())
+	for _, sol := range res.Solutions() {
+		same := "-"
+		if t, ok := sol["same"]; ok {
+			same = t.String()
+		}
+		fmt.Printf("  %-28s name=%-26s sameAs=%s\n", sol["x"].Value, sol["name"].Value, same)
+	}
+
+	fmt.Println("\nexecuted plan:")
+	fmt.Println(res.Plan())
+}

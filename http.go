@@ -1,0 +1,75 @@
+package sparqluo
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// NewHandler returns an http.Handler exposing the database as a minimal
+// SPARQL endpoint:
+//
+//	GET  /sparql?query=...          run a query (also accepts POST form)
+//	GET  /stats                     dataset statistics
+//
+// Query responses use the W3C SPARQL 1.1 Query Results JSON Format. The
+// optional "strategy" parameter selects base|tt|cp|full (default full),
+// "engine" selects wco|binary (default wco).
+func NewHandler(db *DB) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
+		query := r.FormValue("query")
+		if query == "" {
+			http.Error(w, "missing query parameter", http.StatusBadRequest)
+			return
+		}
+		opts, err := optionsFromRequest(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := db.Query(query, opts...)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		if err := res.WriteJSON(w); err != nil {
+			// Headers are already out; nothing more to do.
+			return
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "triples: %d\n", db.NumTriples())
+		if s := db.st.Stats(); s != nil {
+			fmt.Fprintf(w, "entities: %d\npredicates: %d\nliterals: %d\n",
+				s.NumEntities, s.NumPreds, s.NumLiterals)
+		}
+	})
+	return mux
+}
+
+func optionsFromRequest(r *http.Request) ([]Option, error) {
+	var opts []Option
+	switch s := r.FormValue("strategy"); s {
+	case "", "full":
+		opts = append(opts, WithStrategy(Full))
+	case "base":
+		opts = append(opts, WithStrategy(Base))
+	case "tt":
+		opts = append(opts, WithStrategy(TT))
+	case "cp":
+		opts = append(opts, WithStrategy(CP))
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", s)
+	}
+	switch e := r.FormValue("engine"); e {
+	case "", "wco":
+		opts = append(opts, WithEngine(WCO))
+	case "binary":
+		opts = append(opts, WithEngine(BinaryJoin))
+	default:
+		return nil, fmt.Errorf("unknown engine %q", e)
+	}
+	return opts, nil
+}

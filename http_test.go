@@ -1,0 +1,175 @@
+package sparqluo_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"sparqluo"
+)
+
+func TestHTTPSparqlEndpoint(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db))
+	defer srv.Close()
+
+	q := url.QueryEscape(`PREFIX ex: <http://ex.org/> SELECT ?who ?name WHERE { ?who ex:name ?name }`)
+	resp, err := http.Get(srv.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Errorf("content type %q", ct)
+	}
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]struct {
+				Type  string `json:"type"`
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results.Bindings) != 2 {
+		t.Fatalf("bindings = %d, want 2", len(doc.Results.Bindings))
+	}
+	for _, b := range doc.Results.Bindings {
+		if b["who"].Type != "uri" {
+			t.Errorf("?who type = %q", b["who"].Type)
+		}
+		if b["name"].Type != "literal" {
+			t.Errorf("?name type = %q", b["name"].Type)
+		}
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db))
+	defer srv.Close()
+
+	cases := []string{
+		"/sparql",                      // missing query
+		"/sparql?query=SELECT+garbage", // syntax error
+		"/sparql?query=SELECT+*+WHERE+%7B%7D&strategy=warp", // bad strategy
+		"/sparql?query=SELECT+*+WHERE+%7B%7D&engine=gpu",    // bad engine
+	}
+	for _, path := range cases {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "triples: 5") {
+		t.Errorf("stats body:\n%s", body)
+	}
+}
+
+func TestHTTPStrategyParameter(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db))
+	defer srv.Close()
+	q := url.QueryEscape(`PREFIX ex: <http://ex.org/> SELECT * WHERE { ?a ex:knows ?b OPTIONAL { ?a ex:name ?n } }`)
+	for _, strat := range []string{"base", "tt", "cp", "full"} {
+		resp, err := http.Get(srv.URL + "/sparql?strategy=" + strat + "&engine=binary&query=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("strategy %s: status %d", strat, resp.StatusCode)
+		}
+	}
+}
+
+func TestWriteJSONLangAndTyped(t *testing.T) {
+	db := sparqluo.Open()
+	db.AddAll([]sparqluo.Triple{
+		{S: sparqluo.NewIRI("http://e/s"), P: sparqluo.NewIRI("http://e/p"),
+			O: sparqluo.NewLangLiteral("hallo", "de")},
+		{S: sparqluo.NewIRI("http://e/s"), P: sparqluo.NewIRI("http://e/q"),
+			O: sparqluo.NewTypedLiteral("1", "http://www.w3.org/2001/XMLSchema#integer")},
+	})
+	db.Freeze()
+	res, err := db.Query(`SELECT ?o WHERE { <http://e/s> <http://e/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"xml:lang":"de"`) {
+		t.Errorf("missing language tag: %s", sb.String())
+	}
+	res2, err := db.Query(`SELECT ?o WHERE { <http://e/s> <http://e/q> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := res2.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"datatype":"http://www.w3.org/2001/XMLSchema#integer"`) {
+		t.Errorf("missing datatype: %s", sb.String())
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	db := openTestDB(t)
+	all, err := db.Query(`PREFIX ex: <http://ex.org/> SELECT * WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := db.Query(`PREFIX ex: <http://ex.org/> SELECT * WHERE { ?s ?p ?o } LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Len() != 2 {
+		t.Errorf("LIMIT 2: got %d", limited.Len())
+	}
+	offset, err := db.Query(`PREFIX ex: <http://ex.org/> SELECT * WHERE { ?s ?p ?o } LIMIT 100 OFFSET 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := all.Len() - 3; offset.Len() != want {
+		t.Errorf("OFFSET 3: got %d, want %d", offset.Len(), want)
+	}
+	zero, err := db.Query(`PREFIX ex: <http://ex.org/> SELECT * WHERE { ?s ?p ?o } LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Len() != 0 {
+		t.Errorf("LIMIT 0: got %d", zero.Len())
+	}
+}

@@ -1,0 +1,263 @@
+package algebra
+
+import "sparqluo/internal/store"
+
+// Join computes Ω1 ⋈ Ω2 = {µ1 ∪ µ2 | µ1 ∈ Ω1, µ2 ∈ Ω2, µ1 ∼ µ2} under bag
+// semantics. It hash-partitions the smaller operand on the variables that
+// are certainly bound on both sides and verifies full compatibility on the
+// remaining possibly-shared positions.
+func Join(a, b *Bag) *Bag {
+	out := NewBag(a.Width)
+	out.Cert = a.Cert.Or(b.Cert)
+	out.Maybe = a.Maybe.Or(b.Maybe)
+	if len(a.Rows) == 0 || len(b.Rows) == 0 {
+		return out
+	}
+	// Keep a as the probe (outer) side, b as the build side; swap so the
+	// smaller side is built.
+	build, probe := b, a
+	if len(a.Rows) < len(b.Rows) {
+		build, probe = a, b
+	}
+	keys := build.Cert.And(probe.Cert).Indices(a.Width)
+	verify := verifyPositions(a, b, keys)
+
+	if len(keys) == 0 {
+		// No certain join key: nested loop with compatibility check.
+		for _, ra := range a.Rows {
+			for _, rb := range b.Rows {
+				if Compatible(ra, rb, verify) {
+					out.Append(MergeRows(ra, rb))
+				}
+			}
+		}
+		return out
+	}
+
+	idx := buildHash(build, keys)
+	for _, rp := range probe.Rows {
+		for _, rb := range idx[hashKey(rp, keys)] {
+			if Compatible(rp, rb, verify) {
+				// Preserve (µ1, µ2) orientation: merge a-side first.
+				if probe == a {
+					out.Append(MergeRows(rp, rb))
+				} else {
+					out.Append(MergeRows(rb, rp))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Union computes Ω1 ∪bag Ω2, concatenating the two bags.
+func Union(a, b *Bag) *Bag {
+	out := NewBag(a.Width)
+	out.Cert = a.Cert.And(b.Cert)
+	out.Maybe = a.Maybe.Or(b.Maybe)
+	if len(a.Rows) == 0 {
+		out.Cert = b.Cert.Clone()
+	}
+	if len(b.Rows) == 0 {
+		out.Cert = a.Cert.Clone()
+	}
+	out.Rows = make([]Row, 0, len(a.Rows)+len(b.Rows))
+	out.Rows = append(out.Rows, a.Rows...)
+	out.Rows = append(out.Rows, b.Rows...)
+	return out
+}
+
+// UnionAll folds Union over several bags.
+func UnionAll(width int, bags ...*Bag) *Bag {
+	if len(bags) == 0 {
+		return NewBag(width)
+	}
+	out := bags[0]
+	for _, b := range bags[1:] {
+		out = Union(out, b)
+	}
+	return out
+}
+
+// Diff computes Ω1 \ Ω2 = {µ1 ∈ Ω1 | ∀µ2 ∈ Ω2 : µ1 ≁ µ2}.
+func Diff(a, b *Bag) *Bag {
+	out := NewBag(a.Width)
+	out.Cert = a.Cert.Clone()
+	out.Maybe = a.Maybe.Clone()
+	verify := verifyPositions(a, b, nil)
+	for _, ra := range a.Rows {
+		matched := false
+		for _, rb := range b.Rows {
+			if Compatible(ra, rb, verify) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out.Append(ra)
+		}
+	}
+	return out
+}
+
+// LeftJoin computes Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 \ Ω2): every left
+// mapping joined with each compatible right mapping, or passed through
+// unchanged when no right mapping is compatible.
+func LeftJoin(a, b *Bag) *Bag {
+	out := NewBag(a.Width)
+	out.Cert = a.Cert.Clone() // right side only certain on matched rows
+	out.Maybe = a.Maybe.Or(b.Maybe)
+	keys := a.Cert.And(b.Cert).Indices(a.Width)
+	verify := verifyPositions(a, b, keys)
+
+	if len(b.Rows) == 0 {
+		out.Rows = append(out.Rows, a.Rows...)
+		return out
+	}
+	var idx map[uint64][]Row
+	if len(keys) > 0 {
+		idx = buildHash(b, keys)
+	}
+	for _, ra := range a.Rows {
+		candidates := b.Rows
+		if idx != nil {
+			candidates = idx[hashKey(ra, keys)]
+		}
+		matched := false
+		for _, rb := range candidates {
+			if Compatible(ra, rb, verify) {
+				matched = true
+				out.Append(MergeRows(ra, rb))
+			}
+		}
+		if !matched {
+			out.Append(ra)
+		}
+	}
+	return out
+}
+
+// SemiJoin computes Ω1 ⋉ Ω2: the mappings of Ω1 compatible with at least
+// one mapping of Ω2. It is the pruning primitive of LBR-style evaluation.
+func SemiJoin(a, b *Bag) *Bag {
+	out := NewBag(a.Width)
+	out.Cert = a.Cert.Clone()
+	out.Maybe = a.Maybe.Clone()
+	keys := a.Cert.And(b.Cert).Indices(a.Width)
+	verify := verifyPositions(a, b, keys)
+	var idx map[uint64][]Row
+	if len(keys) > 0 {
+		idx = buildHash(b, keys)
+	}
+	for _, ra := range a.Rows {
+		candidates := b.Rows
+		if idx != nil {
+			candidates = idx[hashKey(ra, keys)]
+		}
+		for _, rb := range candidates {
+			if Compatible(ra, rb, verify) {
+				out.Append(ra)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// verifyPositions returns the variable positions on which two bags may
+// share bindings, excluding the already-hashed key positions.
+func verifyPositions(a, b *Bag, keys []int) []int {
+	shared := a.Maybe.And(b.Maybe)
+	for _, k := range keys {
+		// Clear key positions: equality is already guaranteed by hashing.
+		shared[k/64] &^= 1 << (uint(k) % 64)
+	}
+	return shared.Indices(a.Width)
+}
+
+func buildHash(b *Bag, keys []int) map[uint64][]Row {
+	idx := make(map[uint64][]Row, len(b.Rows))
+	for _, r := range b.Rows {
+		h := hashKey(r, keys)
+		idx[h] = append(idx[h], r)
+	}
+	return idx
+}
+
+// hashKey computes an FNV-1a hash of the key positions of a row.
+func hashKey(r Row, keys []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, k := range keys {
+		v := uint64(r[k])
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// Project returns a bag keeping only the given variable positions bound;
+// all other positions are cleared. Used by SELECT projection.
+func Project(b *Bag, keep []int) *Bag {
+	keepBits := NewBits(b.Width)
+	for _, k := range keep {
+		keepBits.Set(k)
+	}
+	out := NewBag(b.Width)
+	out.Cert = b.Cert.And(keepBits)
+	out.Maybe = b.Maybe.And(keepBits)
+	for _, r := range b.Rows {
+		nr := make(Row, b.Width)
+		for _, k := range keep {
+			nr[k] = r[k]
+		}
+		out.Append(nr)
+	}
+	return out
+}
+
+// Distinct removes duplicate mappings, keeping first occurrences.
+func Distinct(b *Bag) *Bag {
+	out := NewBag(b.Width)
+	out.Cert = b.Cert.Clone()
+	out.Maybe = b.Maybe.Clone()
+	seen := make(map[string]struct{}, len(b.Rows))
+	for _, r := range b.Rows {
+		k := rowKey(r)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Append(r)
+	}
+	return out
+}
+
+// BindingsOf returns the distinct non-None values of variable v across the
+// bag, as a set. Used by candidate pruning (§6).
+func BindingsOf(b *Bag, v int) map[store.ID]struct{} {
+	return BindingsOfCapped(b, v, -1)
+}
+
+// BindingsOfCapped is BindingsOf with an early exit: once the set exceeds
+// cap distinct values it returns nil, bounding the cost of probing large
+// intermediate results for candidate sets that would be discarded anyway.
+// cap < 0 means unlimited.
+func BindingsOfCapped(b *Bag, v int, cap int) map[store.ID]struct{} {
+	set := make(map[store.ID]struct{})
+	for _, r := range b.Rows {
+		if r[v] != store.None {
+			set[r[v]] = struct{}{}
+			if cap >= 0 && len(set) > cap {
+				return nil
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,228 @@
+// Package algebra implements the SPARQL solution-mapping algebra of
+// Definition 7 under bag (multiset) semantics: compatibility of mappings,
+// join (⋈), bag union (∪bag), diff (\) and left outer join (⟕).
+//
+// A mapping µ : V ⇀ (I ∪ L) is represented as a fixed-width row of
+// dictionary IDs, one slot per query variable, with store.None marking
+// variables outside dom(µ). A bag Ω is a Bag: a slice of rows plus two
+// variable bitsets that operators maintain to pick efficient join keys:
+//
+//   - Cert: variables bound in every row of the bag,
+//   - Maybe: variables bound in at least one row.
+//
+// Compatibility (µ1 ∼ µ2) only needs to be verified on Maybe∩Maybe
+// positions; hash-join keys are drawn from Cert∩Cert.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"sparqluo/internal/store"
+)
+
+// VarSet assigns dense indices to the variables of one query.
+type VarSet struct {
+	names []string
+	index map[string]int
+}
+
+// NewVarSet returns an empty variable table.
+func NewVarSet() *VarSet {
+	return &VarSet{index: make(map[string]int)}
+}
+
+// Intern returns the index of name, assigning the next free index if new.
+func (v *VarSet) Intern(name string) int {
+	if i, ok := v.index[name]; ok {
+		return i
+	}
+	i := len(v.names)
+	v.names = append(v.names, name)
+	v.index[name] = i
+	return i
+}
+
+// Lookup returns the index of name and whether it is known.
+func (v *VarSet) Lookup(name string) (int, bool) {
+	i, ok := v.index[name]
+	return i, ok
+}
+
+// Name returns the variable name at index i.
+func (v *VarSet) Name(i int) string { return v.names[i] }
+
+// Names returns all variable names in index order. The caller must not
+// modify the returned slice.
+func (v *VarSet) Names() []string { return v.names }
+
+// Len returns the number of variables.
+func (v *VarSet) Len() int { return len(v.names) }
+
+// Bits is a variable-index bitset.
+type Bits []uint64
+
+// NewBits returns a bitset able to hold n variable indices.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set marks index i.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Has reports whether index i is marked.
+func (b Bits) Has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Clone returns a copy of b.
+func (b Bits) Clone() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// And returns b ∩ o (length of the longer operand).
+func (b Bits) And(o Bits) Bits {
+	n := len(b)
+	if len(o) > n {
+		n = len(o)
+	}
+	r := make(Bits, n)
+	for i := range r {
+		var x, y uint64
+		if i < len(b) {
+			x = b[i]
+		}
+		if i < len(o) {
+			y = o[i]
+		}
+		r[i] = x & y
+	}
+	return r
+}
+
+// Or returns b ∪ o.
+func (b Bits) Or(o Bits) Bits {
+	n := len(b)
+	if len(o) > n {
+		n = len(o)
+	}
+	r := make(Bits, n)
+	for i := range r {
+		var x, y uint64
+		if i < len(b) {
+			x = b[i]
+		}
+		if i < len(o) {
+			y = o[i]
+		}
+		r[i] = x | y
+	}
+	return r
+}
+
+// Indices returns the marked indices in ascending order, capped at width.
+func (b Bits) Indices(width int) []int {
+	var out []int
+	for i := 0; i < width; i++ {
+		if b.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Row is one solution mapping: Row[i] is the binding of variable i, or
+// store.None if variable i is outside dom(µ).
+type Row []store.ID
+
+// Bag is a multiset of mappings over a fixed variable width.
+type Bag struct {
+	Width int
+	Rows  []Row
+	Cert  Bits // variables bound in every row
+	Maybe Bits // variables bound in some row
+}
+
+// NewBag returns an empty bag of the given width with no known bindings.
+func NewBag(width int) *Bag {
+	return &Bag{Width: width, Cert: NewBits(width), Maybe: NewBits(width)}
+}
+
+// Unit returns the bag containing the single empty mapping µ0, the
+// identity of join.
+func Unit(width int) *Bag {
+	b := NewBag(width)
+	b.Rows = []Row{make(Row, width)}
+	return b
+}
+
+// Len returns the number of mappings in the bag.
+func (b *Bag) Len() int { return len(b.Rows) }
+
+// Append adds a row. The caller is responsible for keeping Cert/Maybe
+// consistent; prefer the operator functions.
+func (b *Bag) Append(r Row) { b.Rows = append(b.Rows, r) }
+
+// Compatible reports µ1 ∼ µ2 restricted to the candidate positions.
+func Compatible(a, b Row, positions []int) bool {
+	for _, i := range positions {
+		x, y := a[i], b[i]
+		if x != store.None && y != store.None && x != y {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeRows returns µ1 ∪ µ2 (assuming compatibility).
+func MergeRows(a, b Row) Row {
+	out := make(Row, len(a))
+	copy(out, a)
+	for i, y := range b {
+		if y != store.None {
+			out[i] = y
+		}
+	}
+	return out
+}
+
+// String renders the bag for debugging.
+func (b *Bag) String() string {
+	return fmt.Sprintf("Bag(width=%d, rows=%d)", b.Width, len(b.Rows))
+}
+
+// canonical returns a canonical multiset fingerprint of the bag, used by
+// MultisetEqual. Unbound slots canonicalize to 0.
+func (b *Bag) canonical() []string {
+	keys := make([]string, len(b.Rows))
+	for i, r := range b.Rows {
+		keys[i] = rowKey(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func rowKey(r Row) string {
+	buf := make([]byte, 0, len(r)*5)
+	for _, id := range r {
+		buf = append(buf,
+			byte(id), byte(id>>8), byte(id>>16), byte(id>>24), '|')
+	}
+	return string(buf)
+}
+
+// MultisetEqual reports whether two bags are equal as multisets of
+// mappings (row order irrelevant, duplicates significant).
+func MultisetEqual(a, b *Bag) bool {
+	if a.Width != b.Width || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	ka, kb := a.canonical(), b.canonical()
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+// Package bench is the experiment harness: it owns the benchmark query
+// catalog (Appendix A of the paper, adapted to the synthetic generators'
+// scale), builds and caches the datasets, runs the four strategies and
+// the LBR baseline, and prints every table and figure of §7.
+package bench
+
+import (
+	"sync"
+
+	"sparqluo/internal/dbpedia"
+	"sparqluo/internal/lubm"
+	"sparqluo/internal/store"
+)
+
+// Default experiment scales (laptop-sized stand-ins for the paper's
+// 0.5–2B-triple datasets; see DESIGN.md for the substitution rationale).
+const (
+	// DefaultLUBMUniversities is the LUBM scale factor used by Tables
+	// 3/4 and Figures 10/11/13. 13 universities guarantee that
+	// University12 (referenced by q2.5/q2.6) exists.
+	DefaultLUBMUniversities = 13
+	// DefaultDBpediaEntities is the article count of the DBpedia-like
+	// dataset.
+	DefaultDBpediaEntities = 12000
+)
+
+var (
+	cacheMu   sync.Mutex
+	lubmCache = map[int]*store.Store{}
+	dbpCache  = map[int]*store.Store{}
+)
+
+// LUBMStore returns a frozen store over a generated LUBM dataset with the
+// given number of universities, cached per scale.
+func LUBMStore(universities int) *store.Store {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if st, ok := lubmCache[universities]; ok {
+		return st
+	}
+	st := store.New()
+	st.AddAll(lubm.Generate(lubm.DefaultConfig(universities)))
+	st.Freeze()
+	lubmCache[universities] = st
+	return st
+}
+
+// DBpediaStore returns a frozen store over a generated DBpedia-like
+// dataset with the given number of entities, cached per scale.
+func DBpediaStore(entities int) *store.Store {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if st, ok := dbpCache[entities]; ok {
+		return st
+	}
+	st := store.New()
+	st.AddAll(dbpedia.Generate(dbpedia.DefaultConfig(entities)))
+	st.Freeze()
+	dbpCache[entities] = st
+	return st
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sparqluo/internal/core"
+	"sparqluo/internal/exec"
+)
+
+// TestTable2Printer smoke-tests the dataset statistics printer.
+func TestTable2Printer(t *testing.T) {
+	var sb strings.Builder
+	Table2(&sb)
+	out := sb.String()
+	for _, want := range []string{"LUBM", "DBpedia", "triples", "predicates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQueryStatsPrinter checks Tables 3/4 emit a row per query.
+func TestQueryStatsPrinter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale datasets")
+	}
+	var sb strings.Builder
+	if err := QueryStats(&sb, "LUBM"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, q := range append(append([]Query{}, LUBMGroup1...), LUBMGroup2...) {
+		if !strings.Contains(out, q.ID) {
+			t.Errorf("missing row for %s", q.ID)
+		}
+	}
+}
+
+// TestRunOneProducesMeasurement sanity-checks the measurement runner.
+func TestRunOneProducesMeasurement(t *testing.T) {
+	st := LUBMStore(3)
+	m, err := RunOne(st, LUBMGroup1[1], exec.WCOEngine{}, core.Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Query != "q1.2" || m.Strategy != "full" || m.Engine != "wco" {
+		t.Errorf("measurement metadata: %+v", m)
+	}
+	if m.ExecTime <= 0 {
+		t.Error("ExecTime should be positive")
+	}
+	if m.JoinSpace <= 0 {
+		t.Error("JoinSpace should be positive")
+	}
+}
+
+// TestRunStrategiesCoversAll checks all four strategies are measured.
+func TestRunStrategiesCoversAll(t *testing.T) {
+	st := LUBMStore(3)
+	ms, err := RunStrategies(st, LUBMGroup1[1], exec.BinaryJoinEngine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("got %d measurements, want 4", len(ms))
+	}
+	want := []string{"base", "TT", "CP", "full"}
+	for i, m := range ms {
+		if m.Strategy != want[i] {
+			t.Errorf("measurement %d strategy = %s, want %s", i, m.Strategy, want[i])
+		}
+	}
+}
+
+// TestRunLBRMatchesFullResults: the harness's two runners agree on result
+// counts (the substance behind Figure 13's fairness).
+func TestRunLBRMatchesFullResults(t *testing.T) {
+	st := LUBMStore(3)
+	for _, q := range LUBMGroup2[:3] {
+		ml, err := RunLBR(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := RunOne(st, q, exec.WCOEngine{}, core.Full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ml.Results != mf.Results {
+			t.Errorf("%s: LBR %d results, full %d", q.ID, ml.Results, mf.Results)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sparqluo/internal/core"
+	"sparqluo/internal/exec"
+	"sparqluo/internal/lbr"
+	"sparqluo/internal/sparql"
+	"sparqluo/internal/store"
+)
+
+// Engines are the two BGP execution engines the paper implements on
+// (gStore-style WCO and Jena-style binary join).
+var Engines = []exec.Engine{exec.WCOEngine{}, exec.BinaryJoinEngine{}}
+
+// Measurement is one (query, engine, strategy) execution record.
+type Measurement struct {
+	Query     string
+	Dataset   string
+	Engine    string
+	Strategy  string
+	Results   int
+	ExecTime  time.Duration
+	Transform time.Duration
+	JoinSpace float64
+}
+
+// Reps is the number of repetitions per measurement; the minimum time is
+// reported, damping scheduler and cache noise.
+var Reps = 3
+
+// RunOne executes a query with one engine and strategy, repeating Reps
+// times and keeping the fastest run.
+func RunOne(st *store.Store, q Query, engine exec.Engine, strat core.Strategy) (Measurement, error) {
+	parsed, err := sparql.Parse(q.Text)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s: %w", q.ID, err)
+	}
+	var best Measurement
+	for rep := 0; rep < Reps; rep++ {
+		res, err := core.Run(parsed, st, engine, strat)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		m := Measurement{
+			Query:     q.ID,
+			Dataset:   q.Dataset,
+			Engine:    engine.Name(),
+			Strategy:  strat.String(),
+			Results:   res.Bag.Len(),
+			ExecTime:  res.ExecTime,
+			Transform: res.TransformTime,
+			JoinSpace: core.JoinSpace(res.Tree, res.Stats),
+		}
+		if rep == 0 || m.ExecTime < best.ExecTime {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// RunStrategies executes a query under all four strategies with one engine.
+func RunStrategies(st *store.Store, q Query, engine exec.Engine) ([]Measurement, error) {
+	var out []Measurement
+	for _, strat := range core.Strategies {
+		m, err := RunOne(st, q, engine, strat)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// RunLBR executes a query with the LBR baseline.
+func RunLBR(st *store.Store, q Query) (Measurement, error) {
+	parsed, err := sparql.Parse(q.Text)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s: %w", q.ID, err)
+	}
+	var best Measurement
+	for rep := 0; rep < Reps; rep++ {
+		res, err := lbr.Run(parsed, st)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		m := Measurement{
+			Query:    q.ID,
+			Dataset:  q.Dataset,
+			Engine:   "lbr",
+			Strategy: "LBR",
+			Results:  res.Bag.Len(),
+			ExecTime: res.ExecTime,
+		}
+		if rep == 0 || m.ExecTime < best.ExecTime {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// StoreFor returns the default experiment store for a dataset name.
+func StoreFor(dataset string) *store.Store {
+	if dataset == "DBpedia" {
+		return DBpediaStore(DefaultDBpediaEntities)
+	}
+	return LUBMStore(DefaultLUBMUniversities)
+}
+
+// ---- Table and figure printers ----------------------------------------
+
+// Table2 prints dataset statistics in the shape of Table 2.
+func Table2(w io.Writer) {
+	fmt.Fprintf(w, "Table 2: Datasets Statistics (synthetic, scaled down)\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "Dataset", "triples", "entities", "predicates", "literals")
+	for _, name := range []string{"LUBM", "DBpedia"} {
+		st := StoreFor(name)
+		s := st.Stats()
+		fmt.Fprintf(w, "%-10s %12d %12d %12d %12d\n",
+			name, s.NumTriples, s.NumEntities, s.NumPreds, s.NumLiterals)
+	}
+}
+
+// QueryStats prints Type / Count_BGP / Depth / result-size rows in the
+// shape of Tables 3 and 4 for the given dataset.
+func QueryStats(w io.Writer, dataset string) error {
+	st := StoreFor(dataset)
+	tableNo := 3
+	if dataset == "DBpedia" {
+		tableNo = 4
+	}
+	fmt.Fprintf(w, "Table %d: Query Statistics on %s\n", tableNo, dataset)
+	fmt.Fprintf(w, "%-8s %-5s %10s %6s %12s\n", "Query", "Type", "Count BGP", "Depth", "|[[Q]]D|")
+	print := func(qs []Query) error {
+		for _, q := range qs {
+			parsed, err := sparql.Parse(q.Text)
+			if err != nil {
+				return fmt.Errorf("%s: %w", q.ID, err)
+			}
+			tree, err := core.Build(parsed, st)
+			if err != nil {
+				return fmt.Errorf("%s: %w", q.ID, err)
+			}
+			res := core.RunTree(tree, st, exec.WCOEngine{}, core.Full)
+			fmt.Fprintf(w, "%-8s %-5s %10d %6d %12d\n",
+				q.ID, q.Type, tree.CountBGP(), tree.Depth(), res.Bag.Len())
+		}
+		return nil
+	}
+	fmt.Fprintln(w, "Group 1")
+	if err := print(Group1(dataset)); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Group 2")
+	return print(Group2(dataset))
+}
+
+// Fig10 prints, for each (engine, dataset) panel, the execution times of
+// base/TT/CP/full on q1.1–q1.6, plus the transformation time — the data
+// behind Figure 10.
+func Fig10(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 10: Verification of optimizations (times in ms)")
+	for _, engine := range Engines {
+		for _, dataset := range []string{"LUBM", "DBpedia"} {
+			st := StoreFor(dataset)
+			fmt.Fprintf(w, "\n[%s, %s]\n", engine.Name(), dataset)
+			fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %12s\n",
+				"Query", "base", "TT", "CP", "full", "transform")
+			for _, q := range Group1(dataset) {
+				ms, err := RunStrategies(st, q, engine)
+				if err != nil {
+					return err
+				}
+				var times [4]float64
+				var transform float64
+				for i, m := range ms {
+					times[i] = msec(m.ExecTime)
+					if m.Strategy == "full" {
+						transform = msec(m.Transform)
+					}
+				}
+				fmt.Fprintf(w, "%-8s %10.2f %10.2f %10.2f %10.2f %12.3f\n",
+					q.ID, times[0], times[1], times[2], times[3], transform)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig11 prints execution time and join space per strategy — the data
+// behind Figure 11.
+func Fig11(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 11: Execution time (ms) and join space per strategy")
+	for _, dataset := range []string{"LUBM", "DBpedia"} {
+		st := StoreFor(dataset)
+		for _, q := range Group1(dataset) {
+			fmt.Fprintf(w, "\n[%s %s]\n", dataset, q.ID)
+			fmt.Fprintf(w, "%-8s %12s %12s %16s\n", "Strat", "wco(ms)", "binary(ms)", "join space")
+			for _, strat := range core.Strategies {
+				mw, err := RunOne(st, q, exec.WCOEngine{}, strat)
+				if err != nil {
+					return err
+				}
+				mb, err := RunOne(st, q, exec.BinaryJoinEngine{}, strat)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-8s %12.2f %12.2f %16.1f\n",
+					strat, msec(mw.ExecTime), msec(mb.ExecTime), mw.JoinSpace)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig13 prints full vs LBR total response time on q2.1–q2.6 — the data
+// behind Figure 13.
+func Fig13(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 13: Comparison with state-of-the-art (times in ms)")
+	for _, dataset := range []string{"LUBM", "DBpedia"} {
+		st := StoreFor(dataset)
+		fmt.Fprintf(w, "\n[%s]\n", dataset)
+		fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "Query", "LBR", "full", "speedup")
+		for _, q := range Group2(dataset) {
+			ml, err := RunLBR(st, q)
+			if err != nil {
+				return err
+			}
+			mf, err := RunOne(st, q, exec.WCOEngine{}, core.Full)
+			if err != nil {
+				return err
+			}
+			total := mf.ExecTime + mf.Transform
+			speedup := float64(ml.ExecTime) / float64(total)
+			fmt.Fprintf(w, "%-8s %10.2f %10.2f %9.1fx\n",
+				q.ID, msec(ml.ExecTime), msec(total), speedup)
+		}
+	}
+	return nil
+}
+
+// Fig12Scales are the LUBM scale factors (universities) for the
+// scalability study, standing in for the paper's 0.5B–2B triples.
+var Fig12Scales = []int{5, 10, 15, 20}
+
+// Fig12 prints full's execution time on q1.1–q1.6 across LUBM scales —
+// the data behind Figure 12.
+func Fig12(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 12: Scalability of full on LUBM (times in ms)")
+	fmt.Fprintf(w, "%-8s", "Query")
+	for _, s := range Fig12Scales {
+		fmt.Fprintf(w, " %9s", fmt.Sprintf("U=%d", s))
+	}
+	fmt.Fprintln(w)
+	for _, q := range LUBMGroup1 {
+		fmt.Fprintf(w, "%-8s", q.ID)
+		for _, s := range Fig12Scales {
+			st := LUBMStore(s)
+			m, err := RunOne(st, q, exec.WCOEngine{}, core.Full)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %9.2f", msec(m.ExecTime+m.Transform))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func msec(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

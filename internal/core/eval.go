@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/exec"
+	"sparqluo/internal/store"
+)
+
+// Pruning configures the candidate pruning optimization of §6.
+type Pruning struct {
+	// Enabled turns candidate pruning on.
+	Enabled bool
+	// FixedThreshold, when > 0, is an absolute cap on candidate set
+	// sizes (the CP approach uses 1% of the number of triples).
+	FixedThreshold int
+	// Adaptive, when true, uses the BGP result-size estimate produced by
+	// the cost model as the per-BGP threshold whenever available (the
+	// full approach); FixedThreshold is the fallback.
+	Adaptive bool
+}
+
+// EvalStats collects instrumentation from one evaluation.
+type EvalStats struct {
+	// BGPResults records the materialized result size of every BGP node
+	// evaluation, in evaluation order. Feeds the join space metric.
+	BGPResults []int
+	// bgpSizes maps BGP nodes to their last materialized size.
+	bgpSizes map[*BGPNode]int
+	// PrunedBGPs counts BGP evaluations that ran with a candidate set.
+	PrunedBGPs int
+}
+
+// evaluator runs Algorithm 1 (optionally augmented with candidate
+// pruning) over a BE-tree.
+type evaluator struct {
+	st     *store.Store
+	engine exec.Engine
+	width  int
+	prune  Pruning
+	stats  *EvalStats
+}
+
+// Evaluate runs the BGP-based evaluation scheme (Algorithm 1) on the tree
+// and returns the bag of solution mappings plus instrumentation. The
+// SELECT projection is applied (and DISTINCT if requested).
+func Evaluate(t *Tree, st *store.Store, engine exec.Engine, prune Pruning) (*algebra.Bag, *EvalStats) {
+	ev := &evaluator{
+		st:     st,
+		engine: engine,
+		width:  t.Vars.Len(),
+		prune:  prune,
+		stats:  &EvalStats{bgpSizes: make(map[*BGPNode]int)},
+	}
+	res := ev.group(t.Root, nil)
+	if len(t.Select) > 0 {
+		keep := make([]int, 0, len(t.Select))
+		for _, name := range t.Select {
+			if i, ok := t.Vars.Lookup(name); ok {
+				keep = append(keep, i)
+			}
+		}
+		res = algebra.Project(res, keep)
+	}
+	if t.Distinct {
+		res = algebra.Distinct(res)
+	}
+	res = applySlice(res, t.Offset, t.Limit)
+	return res, ev.stats
+}
+
+// applySlice implements the OFFSET and LIMIT solution modifiers.
+func applySlice(b *algebra.Bag, offset, limit int) *algebra.Bag {
+	if offset <= 0 && limit < 0 {
+		return b
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(b.Rows) {
+		offset = len(b.Rows)
+	}
+	rows := b.Rows[offset:]
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	out := algebra.NewBag(b.Width)
+	out.Cert = b.Cert.Clone()
+	out.Maybe = b.Maybe.Clone()
+	out.Rows = rows
+	return out
+}
+
+// group evaluates a group graph pattern node. incoming carries the
+// parent's current partial results for candidate derivation (§6); it does
+// not participate in the join (the caller joins afterwards).
+//
+// Following the paper's operator precedence ({} ≺ UNION ≺ AND ≺ OPTIONAL,
+// §3) — which its own BE-tree construction presumes when it coalesces
+// triple patterns across an OPTIONAL (Figure 5: t1 and t6) — the group's
+// required children (BGPs, UNIONs, nested groups) are joined first, in
+// order, and the OPTIONAL children are then left-outer-joined, in order.
+// For well-designed patterns this coincides with the W3C left-to-right
+// fold; for non-well-designed ones it is the Pérez-style semantics the
+// paper's Theorems 1–2 assume.
+func (ev *evaluator) group(g *GroupNode, incoming *algebra.Bag) *algebra.Bag {
+	var r *algebra.Bag
+	var optionals []*OptionalNode
+	for _, child := range g.Children {
+		switch child := child.(type) {
+		case *GroupNode:
+			o := ev.group(child, pickContext(r, incoming))
+			r = joinWith(r, o, ev.width)
+		case *BGPNode:
+			cand := ev.deriveCandidates(child, r, incoming)
+			o := ev.evalBGP(child, cand)
+			r = joinWith(r, o, ev.width)
+		case *UnionNode:
+			u := algebra.NewBag(ev.width)
+			for _, br := range child.Branches {
+				u = algebra.Union(u, ev.group(br, pickContext(r, incoming)))
+			}
+			r = joinWith(r, u, ev.width)
+		case *OptionalNode:
+			optionals = append(optionals, child)
+		}
+	}
+	if r == nil {
+		r = algebra.Unit(ev.width)
+	}
+	for _, opt := range optionals {
+		o := ev.group(opt.Right, pickContext(r, incoming))
+		r = algebra.LeftJoin(r, o)
+	}
+	return r
+}
+
+// pickContext chooses the bag from which nested evaluations derive
+// candidates: the local partial result when one exists, else the
+// incoming context.
+func pickContext(r, incoming *algebra.Bag) *algebra.Bag {
+	if r != nil {
+		return r
+	}
+	return incoming
+}
+
+func joinWith(r, o *algebra.Bag, width int) *algebra.Bag {
+	if r == nil {
+		return o
+	}
+	return algebra.Join(r, o)
+}
+
+// evalBGP evaluates one BGP node through the engine, recording
+// instrumentation.
+func (ev *evaluator) evalBGP(b *BGPNode, cand exec.Candidates) *algebra.Bag {
+	if cand != nil {
+		ev.stats.PrunedBGPs++
+	}
+	res := ev.engine.EvalBGP(ev.st, b.Enc, ev.width, cand)
+	ev.stats.BGPResults = append(ev.stats.BGPResults, res.Len())
+	ev.stats.bgpSizes[b] = res.Len()
+	return res
+}
+
+// deriveCandidates implements the candidate-setting rule of §6: the
+// current results' bindings of the variables shared with the child become
+// candidate sets, but only when the candidate set is smaller than the
+// threshold (fixed for CP, the estimated BGP result size for full).
+func (ev *evaluator) deriveCandidates(child Node, r, incoming *algebra.Bag) exec.Candidates {
+	if !ev.prune.Enabled {
+		return nil
+	}
+	bgp, ok := child.(*BGPNode)
+	if !ok {
+		return nil // candidates flow to nested nodes via `incoming`
+	}
+	src := pickContext(r, incoming)
+	if src == nil || src.Len() == 0 {
+		return nil
+	}
+	threshold := ev.thresholdFor(bgp)
+	if threshold <= 0 {
+		return nil
+	}
+	var cand exec.Candidates
+	for _, v := range bgp.Enc.Vars() {
+		if !src.Cert.Has(v) {
+			continue // only certainly-bound variables constrain results
+		}
+		set := algebra.BindingsOfCapped(src, v, threshold)
+		if len(set) == 0 {
+			continue
+		}
+		if cand == nil {
+			cand = exec.Candidates{}
+		}
+		cand[v] = set
+	}
+	return cand
+}
+
+// thresholdFor returns the candidate-size threshold for one BGP node.
+// In adaptive mode (the full strategy) the threshold is the estimated
+// BGP result size — pruning pays off when the candidate set is smaller
+// than what the BGP would materialize anyway — but never below the
+// dataset-based floor, so that full's pruning is at least as eager as
+// CP's. Without estimates the threshold is the fixed/1%-of-triples
+// default of §7.1.
+func (ev *evaluator) thresholdFor(b *BGPNode) int {
+	base := ev.prune.FixedThreshold
+	if base <= 0 {
+		base = ev.st.NumTriples() / 100
+	}
+	if ev.prune.Adaptive && b.estValid {
+		if est := int(b.estCard); est > base {
+			return est
+		}
+	}
+	return base
+}

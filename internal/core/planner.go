@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/exec"
+	"sparqluo/internal/sparql"
+	"sparqluo/internal/store"
+)
+
+// Strategy selects which of the paper's four evaluated approaches (§7.1)
+// to run.
+type Strategy int
+
+const (
+	// Base runs Algorithm 1 on the untransformed BE-tree, analogous to
+	// stock Jena/gStore SPARQL-UO execution.
+	Base Strategy = iota
+	// TT applies the cost-driven tree transformation (Algorithm 4)
+	// before running Algorithm 1.
+	TT
+	// CP runs Algorithm 1 augmented with candidate pruning on the
+	// original tree, with a fixed threshold of 1% of the triples.
+	CP
+	// Full coordinates tree transformation and candidate pruning with an
+	// adaptive threshold — the paper's complete approach.
+	Full
+)
+
+// String returns the paper's abbreviation for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Base:
+		return "base"
+	case TT:
+		return "TT"
+	case CP:
+		return "CP"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all four approaches in the paper's presentation order.
+var Strategies = []Strategy{Base, TT, CP, Full}
+
+// Result is the outcome of running a query plan.
+type Result struct {
+	Bag   *algebra.Bag    // solution mappings
+	Vars  *algebra.VarSet // variable table (row layout)
+	Tree  *Tree           // the (possibly transformed) plan that ran
+	Stats *EvalStats      // per-BGP instrumentation
+
+	Transformations int           // number of merge/inject ops applied
+	TransformTime   time.Duration // time spent deciding/applying them
+	ExecTime        time.Duration // time spent in Algorithm 1
+}
+
+// Run plans and executes a parsed query with the given strategy and BGP
+// engine. The store must be frozen (for statistics).
+func Run(q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy) (*Result, error) {
+	tree, err := Build(q, st)
+	if err != nil {
+		return nil, err
+	}
+	return RunTree(tree, st, engine, strat), nil
+}
+
+// RunTree executes an already-built BE-tree with the given strategy. The
+// input tree is not modified (transforming strategies clone it).
+func RunTree(t *Tree, st *store.Store, engine exec.Engine, strat Strategy) *Result {
+	res := &Result{Vars: t.Vars}
+	work := t
+	switch strat {
+	case TT, Full:
+		work = t.Clone()
+		tr := NewTransformer(st, engine)
+		tr.SkipWhenEquivalentToCP = strat == Full
+		start := time.Now()
+		res.Transformations = tr.Transform(work)
+		res.TransformTime = time.Since(start)
+	}
+	prune := Pruning{}
+	switch strat {
+	case CP:
+		prune = Pruning{Enabled: true, FixedThreshold: st.NumTriples() / 100}
+	case Full:
+		prune = Pruning{Enabled: true, Adaptive: true}
+	}
+	start := time.Now()
+	bag, stats := Evaluate(work, st, engine, prune)
+	res.ExecTime = time.Since(start)
+	res.Bag, res.Tree, res.Stats = bag, work, stats
+	return res
+}

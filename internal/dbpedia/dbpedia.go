@@ -1,0 +1,341 @@
+// Package dbpedia generates a synthetic DBpedia-like RDF dataset: an
+// encyclopedic knowledge graph with the predicate vocabulary of the
+// paper's twelve DBpedia benchmark queries and Zipf-skewed link structure.
+//
+// The generator substitutes for the DBpedia V3.9 dump (830M triples): it
+// reproduces the selectivity contrasts the experiments rely on — a few
+// highly selective anchors (e.g. ?x dbo:wikiPageWikiLink
+// dbr:Economic_system) against huge unselective relations (rdfs:label,
+// owl:sameAs, dbo:wikiPageWikiLink in the open) — at laptop scale.
+// Every IRI constant appearing in queries q1.1–q1.6 and q2.1–q2.6 exists
+// in the generated data. Generation is deterministic for a given Config.
+package dbpedia
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparqluo/internal/rdf"
+)
+
+// Namespace IRIs (matching the query prefixes of Appendix A.2).
+const (
+	RDF    = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFS   = "http://www.w3.org/2000/01/rdf-schema#"
+	FOAF   = "http://xmlns.com/foaf/0.1/"
+	PURL   = "http://purl.org/dc/terms/"
+	SKOS   = "http://www.w3.org/2004/02/skos/core#"
+	NSPROV = "http://www.w3.org/ns/prov#"
+	OWL    = "http://www.w3.org/2002/07/owl#"
+	DBO    = "http://dbpedia.org/ontology/"
+	DBR    = "http://dbpedia.org/resource/"
+	DBP    = "http://dbpedia.org/property/"
+	GEO    = "http://www.w3.org/2003/01/geo/wgs84_pos#"
+	GEORSS = "http://www.georss.org/georss/"
+)
+
+// Config controls dataset shape.
+type Config struct {
+	// Entities is the number of encyclopedia articles (the scale factor).
+	Entities int
+	Seed     int64
+	// HubLinkFraction is the fraction of entities that link to each
+	// named hub constant (selective anchors for the queries).
+	HubLinkFraction float64
+	// AvgWikiLinks is the mean out-degree of dbo:wikiPageWikiLink.
+	AvgWikiLinks int
+}
+
+// DefaultConfig returns the shape used by the experiment harness.
+func DefaultConfig(entities int) Config {
+	return Config{
+		Entities:        entities,
+		Seed:            7,
+		HubLinkFraction: 0.01,
+		AvgWikiLinks:    6,
+	}
+}
+
+// Hub constants referenced by the benchmark queries.
+var hubs = []string{
+	"Economic_system",                // q1.1, q1.2
+	"Abdul_Rahim_Wardak",             // q1.5
+	"Category:Cell_biology",          // q1.6
+	"President_of_the_United_States", // introduction examples
+}
+
+// Generate produces the dataset as a slice of triples.
+func Generate(cfg Config) []rdf.Triple {
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.run()
+	return g.out
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	out []rdf.Triple
+
+	entities   []rdf.Term
+	categories []rdf.Term
+
+	// inLinks records wikiPageWikiLink in-neighbours (source indices) per
+	// target index; hubLinkers records, per hub, the entities linking to
+	// it. Both feed the disambiguation-page pass.
+	inLinks    map[int][]int
+	hubLinkers [][]int
+}
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+
+func (g *generator) emit(s rdf.Term, pred string, o rdf.Term) {
+	g.out = append(g.out, rdf.Triple{S: s, P: iri(pred), O: o})
+}
+
+// zipfPick selects an entity index with a popularity skew: low indices are
+// disproportionately likely, approximating the hub structure of DBpedia.
+func (g *generator) zipfPick(n int) int {
+	// Square the uniform draw: mass concentrates near 0.
+	u := g.rng.Float64()
+	return int(u * u * float64(n))
+}
+
+func (g *generator) run() {
+	n := g.cfg.Entities
+	if n < 50 {
+		n = 50
+	}
+	// Entity 0..len(hubs)-1 are the named constants; a couple of special
+	// subjects follow; the rest are EntityK.
+	names := append([]string{}, hubs...)
+	names = append(names, "Air_masses", "Functional_neuroimaging", "Bill_Clinton", "George_W._Bush")
+	for len(names) < n {
+		names = append(names, fmt.Sprintf("Entity%d", len(names)))
+	}
+	for _, name := range names {
+		g.entities = append(g.entities, iri(DBR+name))
+	}
+	nCats := n/50 + 5
+	for c := 0; c < nCats; c++ {
+		g.categories = append(g.categories, iri(DBR+fmt.Sprintf("Category:Cat%d", c)))
+	}
+
+	g.inLinks = make(map[int][]int)
+	g.hubLinkers = make([][]int, len(hubs))
+	g.categoryTriples()
+	for i, e := range g.entities {
+		g.article(i, e, names[i])
+	}
+	g.disambiguationPages(names)
+	g.typedPopulations(names)
+}
+
+// disambiguationPages emits multi-topic wiki pages, the DBpedia noise
+// that lets queries like q1.6 relate two distinct entities through one
+// page: a page is primaryTopic of a hub-linking entity and also the
+// primary topic target of one of its wiki in-neighbours.
+func (g *generator) disambiguationPages(names []string) {
+	for _, linkers := range g.hubLinkers {
+		for _, v1 := range linkers {
+			ins := g.inLinks[v1]
+			if len(ins) == 0 || g.rng.Float64() > 0.7 {
+				continue
+			}
+			v3 := ins[g.rng.Intn(len(ins))]
+			page := iri("http://en.wikipedia.org/wiki/" + names[v1] + "_(disambiguation)")
+			g.emit(page, FOAF+"primaryTopic", g.entities[v1])
+			g.emit(g.entities[v3], FOAF+"isPrimaryTopicOf", page)
+		}
+	}
+}
+
+func (g *generator) categoryTriples() {
+	for c, cat := range g.categories {
+		g.emit(cat, RDFS+"label", lit(fmt.Sprintf("Category %d", c)))
+		g.emit(cat, SKOS+"prefLabel", lit(fmt.Sprintf("Cat %d", c)))
+		// skos:related links between categories (used by q1.4).
+		if c > 0 {
+			g.emit(cat, SKOS+"related", g.categories[g.rng.Intn(c)])
+		}
+	}
+}
+
+func (g *generator) randCategory() rdf.Term {
+	return g.categories[g.rng.Intn(len(g.categories))]
+}
+
+func (g *generator) article(i int, e rdf.Term, name string) {
+	n := len(g.entities)
+	g.emit(e, RDFS+"label", lit(name+" label"))
+	if g.rng.Float64() < 0.6 {
+		g.emit(e, FOAF+"name", lit(name))
+	}
+	// Wiki page and revision provenance.
+	page := iri("http://en.wikipedia.org/wiki/" + name)
+	g.emit(e, FOAF+"isPrimaryTopicOf", page)
+	g.emit(page, FOAF+"primaryTopic", e)
+	g.emit(page, DBO+"wikiPageLength", rdf.NewTypedLiteral(
+		fmt.Sprintf("%d", 500+g.rng.Intn(100000)),
+		"http://www.w3.org/2001/XMLSchema#nonNegativeInteger"))
+	rev := iri(fmt.Sprintf("http://en.wikipedia.org/wiki/%s?oldid=%d", name, g.rng.Intn(1_000_000)))
+	g.emit(e, NSPROV+"wasDerivedFrom", rev)
+
+	// Categories: purl:subject is the modern predicate, skos:subject the
+	// legacy one — some entities have both (hence the query UNIONs).
+	g.emit(e, PURL+"subject", g.randCategory())
+	if g.rng.Float64() < 0.3 {
+		g.emit(e, SKOS+"subject", g.randCategory())
+	}
+
+	// owl:sameAs to external KBs — a huge, unselective relation.
+	if g.rng.Float64() < 0.5 {
+		g.emit(e, OWL+"sameAs", iri("http://external.example.org/"+name))
+	}
+	if g.rng.Float64() < 0.1 {
+		g.emit(iri("http://freebase.example.org/"+name), OWL+"sameAs", e)
+	}
+
+	// Wiki links: skewed out-degree, plus selective hub in-links.
+	links := 1 + g.rng.Intn(2*g.cfg.AvgWikiLinks)
+	for k := 0; k < links; k++ {
+		dst := g.zipfPick(n)
+		g.emit(e, DBO+"wikiPageWikiLink", g.entities[dst])
+		g.inLinks[dst] = append(g.inLinks[dst], i)
+	}
+	for h := range hubs {
+		if g.rng.Float64() < g.cfg.HubLinkFraction {
+			g.emit(e, DBO+"wikiPageWikiLink", g.entities[h])
+			g.hubLinkers[h] = append(g.hubLinkers[h], i)
+		}
+	}
+
+	// Redirect pages (q1.3): ~10% of entities have one.
+	if g.rng.Float64() < 0.1 {
+		redir := iri(DBR + name + "_(redirect)")
+		g.emit(redir, DBO+"wikiPageRedirects", e)
+		g.emit(redir, DBO+"wikiPageWikiLink", g.entities[g.zipfPick(n)])
+	}
+	if i%17 == 0 {
+		g.emit(e, RDFS+"comment", lit("An article about "+name))
+	}
+}
+
+// typedPopulations adds the class-specific subpopulations the q2.x
+// queries need: populated places, soccer players, persons, settlements
+// with airports, and companies.
+func (g *generator) typedPopulations(names []string) {
+	n := len(g.entities)
+	typ := func(e rdf.Term, class string) {
+		g.emit(e, RDF+"type", iri(DBO+class))
+	}
+	xsdInt := "http://www.w3.org/2001/XMLSchema#integer"
+
+	// Populated places / settlements (q2.1, q2.4).
+	var settlements []rdf.Term
+	for i := 0; i < n/20; i++ {
+		e := g.entities[g.rng.Intn(n)]
+		typ(e, "PopulatedPlace")
+		g.emit(e, DBO+"abstract", lit("abstract of place"))
+		g.emit(e, GEO+"lat", rdf.NewTypedLiteral(fmt.Sprintf("%.4f", g.rng.Float64()*180-90), xsdInt))
+		g.emit(e, GEO+"long", rdf.NewTypedLiteral(fmt.Sprintf("%.4f", g.rng.Float64()*360-180), xsdInt))
+		if g.rng.Float64() < 0.4 {
+			g.emit(e, FOAF+"depiction", iri("http://img.example.org/d/"+fmt.Sprint(i)))
+		}
+		if g.rng.Float64() < 0.3 {
+			g.emit(e, FOAF+"homepage", iri("http://place.example.org/"+fmt.Sprint(i)))
+		}
+		if g.rng.Float64() < 0.6 {
+			g.emit(e, DBO+"populationTotal", rdf.NewTypedLiteral(fmt.Sprint(g.rng.Intn(1_000_000)), xsdInt))
+		}
+		if g.rng.Float64() < 0.5 {
+			g.emit(e, DBO+"thumbnail", iri("http://img.example.org/t/"+fmt.Sprint(i)))
+		}
+		if g.rng.Float64() < 0.5 {
+			typ(e, "Settlement")
+			settlements = append(settlements, e)
+		}
+	}
+
+	// Airports serving settlements (q2.4).
+	for i := 0; i < n/50 && len(settlements) > 0; i++ {
+		a := iri(DBR + fmt.Sprintf("Airport%d", i))
+		typ(a, "Airport")
+		g.emit(a, DBO+"city", settlements[g.rng.Intn(len(settlements))])
+		g.emit(a, DBP+"iata", lit(fmt.Sprintf("A%02d", i%100)))
+		if g.rng.Float64() < 0.5 {
+			g.emit(a, FOAF+"homepage", iri("http://airport.example.org/"+fmt.Sprint(i)))
+		}
+		if g.rng.Float64() < 0.5 {
+			g.emit(a, DBP+"nativename", lit(fmt.Sprintf("Aeropuerto %d", i)))
+		}
+	}
+
+	// Soccer players and clubs (q2.2).
+	nClubs := n/100 + 3
+	var clubs []rdf.Term
+	for i := 0; i < nClubs; i++ {
+		c := iri(DBR + fmt.Sprintf("Club%d", i))
+		g.emit(c, DBO+"capacity", rdf.NewTypedLiteral(fmt.Sprint(5000+g.rng.Intn(90000)), xsdInt))
+		clubs = append(clubs, c)
+	}
+	for i := 0; i < n/20; i++ {
+		e := g.entities[g.rng.Intn(n)]
+		typ(e, "SoccerPlayer")
+		g.emit(e, DBP+"position", lit([]string{"GK", "DF", "MF", "FW"}[g.rng.Intn(4)]))
+		g.emit(e, DBP+"clubs", clubs[g.rng.Intn(len(clubs))])
+		g.emit(e, DBO+"birthPlace", g.entities[g.zipfPick(n)])
+		if g.rng.Float64() < 0.5 {
+			g.emit(e, FOAF+"homepage", iri("http://player.example.org/"+fmt.Sprint(i)))
+		}
+		if g.rng.Float64() < 0.4 {
+			g.emit(e, DBO+"number", rdf.NewTypedLiteral(fmt.Sprint(1+g.rng.Intn(30)), xsdInt))
+		}
+	}
+
+	// Persons (q2.3): thumbnail + label + homepage.
+	for i := 0; i < n/10; i++ {
+		e := g.entities[g.rng.Intn(n)]
+		typ(e, "Person")
+		if g.rng.Float64() < 0.3 {
+			g.emit(e, DBO+"thumbnail", iri("http://img.example.org/p/"+fmt.Sprint(i)))
+		}
+		if g.rng.Float64() < 0.2 {
+			g.emit(e, FOAF+"homepage", iri("http://person.example.org/"+fmt.Sprint(i)))
+		}
+	}
+
+	// Companies (q2.6): comment, page, industry, locations, products.
+	for i := 0; i < n/20; i++ {
+		e := g.entities[g.rng.Intn(n)]
+		g.emit(e, RDFS+"comment", lit("A company"))
+		g.emit(e, FOAF+"page", iri("http://company.example.org/"+fmt.Sprint(i)))
+		if g.rng.Float64() < 0.6 {
+			g.emit(e, DBP+"industry", lit(fmt.Sprintf("Industry%d", g.rng.Intn(20))))
+		}
+		if g.rng.Float64() < 0.5 {
+			g.emit(e, DBP+"location", g.entities[g.zipfPick(n)])
+		}
+		if g.rng.Float64() < 0.4 {
+			g.emit(e, DBP+"locationCountry", g.entities[g.zipfPick(n)])
+		}
+		if g.rng.Float64() < 0.3 {
+			g.emit(e, DBP+"locationCity", g.entities[g.zipfPick(n)])
+			g.emit(g.entities[g.rng.Intn(n)], DBP+"manufacturer", e)
+		}
+		if g.rng.Float64() < 0.3 {
+			g.emit(e, DBP+"products", lit(fmt.Sprintf("Product%d", g.rng.Intn(50))))
+			g.emit(g.entities[g.rng.Intn(n)], DBP+"model", e)
+		}
+		if g.rng.Float64() < 0.4 {
+			g.emit(e, GEORSS+"point", lit(fmt.Sprintf("%.3f %.3f", g.rng.Float64()*180-90, g.rng.Float64()*360-180)))
+		}
+	}
+
+	// Phylum links for q1.6: species-like entities sharing a phylum.
+	for i := 0; i < n/30; i++ {
+		phylum := g.entities[g.zipfPick(n/10+1)]
+		g.emit(g.entities[g.rng.Intn(n)], DBO+"phylum", phylum)
+		g.emit(g.entities[g.rng.Intn(n)], DBO+"phylum", phylum)
+	}
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"sort"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/store"
+)
+
+// BinaryJoinEngine evaluates BGPs in the style of Jena (§5.1.2): every
+// triple pattern is scanned into a bag of mappings, then the bags are
+// combined with binary hash joins, smallest first.
+type BinaryJoinEngine struct{}
+
+// Name implements Engine.
+func (BinaryJoinEngine) Name() string { return "binary" }
+
+// EvalBGP implements Engine with left-deep hash joins over per-pattern
+// scans ordered by ascending scan size, preferring connected patterns to
+// avoid cartesian products.
+func (BinaryJoinEngine) EvalBGP(st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+	if len(bgp) == 0 {
+		u := algebra.Unit(width)
+		return u
+	}
+	for _, p := range bgp {
+		if p.Impossible() {
+			out := algebra.NewBag(width)
+			for _, v := range bgp.Vars() {
+				out.Cert.Set(v)
+				out.Maybe.Set(v)
+			}
+			return out
+		}
+	}
+	order := greedyOrderWithCands(st, bgp, cand)
+	acc := scanPattern(st, bgp[order[0]], width, cand)
+	for _, idx := range order[1:] {
+		if acc.Len() == 0 {
+			// Joining with the empty bag stays empty; still mark vars.
+			for _, v := range bgp[idx].Vars() {
+				acc.Cert.Set(v)
+				acc.Maybe.Set(v)
+			}
+			continue
+		}
+		acc = algebra.Join(acc, scanPattern(st, bgp[idx], width, cand))
+	}
+	return acc
+}
+
+// scanPattern materializes all matches of a single pattern into a bag.
+func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates) *algebra.Bag {
+	out := algebra.NewBag(width)
+	for _, v := range pat.Vars() {
+		out.Cert.Set(v)
+		out.Maybe.Set(v)
+	}
+	seed := make(algebra.Row, width)
+	MatchPattern(st, pat, seed, cand, func(nr algebra.Row) {
+		out.Append(nr)
+	})
+	return out
+}
+
+// EstimateCard implements Engine via the shared sampling estimator over
+// the ascending-size order.
+func (BinaryJoinEngine) EstimateCard(st *store.Store, bgp BGP) float64 {
+	if len(bgp) == 0 {
+		return 1
+	}
+	est := newEstimator(st, bgp)
+	cards, _ := est.estimate(bgp, sortedOrder(st, bgp))
+	return cards[len(cards)-1]
+}
+
+// EstimateCost implements Engine with the binary-join cost formula
+// (Equation 9):
+//
+//	cost(BinaryJoin(V1, V2)) = 2·min(card(V1), card(V2)) + max(card(V1), card(V2))
+//
+// summed over a left-deep join in ascending scan-size order, using the
+// sampling estimator for the accumulated side.
+func (BinaryJoinEngine) EstimateCost(st *store.Store, bgp BGP) float64 {
+	if len(bgp) == 0 {
+		return 0
+	}
+	order := sortedOrder(st, bgp)
+	est := newEstimator(st, bgp)
+	cards, _ := est.estimate(bgp, order)
+	cost := float64(ExactCount(st, bgp[order[0]]))
+	for k := 1; k < len(order); k++ {
+		left := cards[k-1]
+		right := float64(ExactCount(st, bgp[order[k]]))
+		lo, hi := left, right
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cost += 2*lo + hi
+	}
+	return cost
+}
+
+// sortedOrder orders patterns by ascending exact count, preferring
+// connected patterns to avoid products (stable within the constraint).
+func sortedOrder(st *store.Store, bgp BGP) []int {
+	n := len(bgp)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	counts := make([]int, n)
+	for i, p := range bgp {
+		counts[i] = ExactCount(st, p)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return counts[idx[a]] < counts[idx[b]] })
+
+	// Re-walk preferring connectivity.
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[int]bool{}
+	for len(order) < n {
+		pick := -1
+		for _, i := range idx {
+			if used[i] {
+				continue
+			}
+			conn := len(order) == 0
+			for _, v := range bgp[i].Vars() {
+				if bound[v] {
+					conn = true
+					break
+				}
+			}
+			if conn {
+				pick = i
+				break
+			}
+			if pick == -1 {
+				pick = i // fallback: smallest disconnected
+			}
+		}
+		used[pick] = true
+		order = append(order, pick)
+		for _, v := range bgp[pick].Vars() {
+			bound[v] = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/store"
+)
+
+// Engine evaluates a BGP against a store and estimates result sizes and
+// execution costs, in the sense of §5.1.2. Implementations must be safe
+// for concurrent use once the store is frozen.
+type Engine interface {
+	// Name identifies the engine ("wco" or "binary").
+	Name() string
+	// EvalBGP returns the bag of mappings of the BGP over the store,
+	// honoring candidate sets when non-nil. width is the query-wide
+	// number of variables.
+	EvalBGP(st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag
+	// EstimateCard estimates |res(BGP)| using the sampling-based
+	// cardinality estimator of §5.1.2.
+	EstimateCard(st *store.Store, bgp BGP) float64
+	// EstimateCost estimates the engine-specific execution cost of the
+	// BGP (WCO-join cost or binary-join cost).
+	EstimateCost(st *store.Store, bgp BGP) float64
+}
+
+// sampleSize caps the number of partial results carried by the sampling
+// cardinality estimator.
+const sampleSize = 64
+
+// estimator implements the paper's shared cardinality estimation:
+// exact counts for single triple patterns, then for each added pattern a
+// sample of the current partial results is extended and the estimate
+// scaled by #extend/#sample (floored at 1).
+type estimator struct {
+	st    *store.Store
+	width int
+}
+
+func newEstimator(st *store.Store, bgp BGP) *estimator {
+	width := 0
+	for _, v := range bgp.Vars() {
+		if v+1 > width {
+			width = v + 1
+		}
+	}
+	return &estimator{st: st, width: width}
+}
+
+// estimate walks the patterns in the given order, maintaining (card,
+// sample) and returning the per-step cardinalities: card[k] estimates the
+// result size after joining patterns order[0..k].
+func (e *estimator) estimate(bgp BGP, order []int) (cards []float64, samples [][]algebra.Row) {
+	cards = make([]float64, len(order))
+	samples = make([][]algebra.Row, len(order))
+	var sample []algebra.Row
+	card := 0.0
+	for k, idx := range order {
+		pat := bgp[idx]
+		if k == 0 {
+			card = float64(ExactCount(e.st, pat))
+			sample = e.sampleSingle(pat)
+		} else {
+			extended := 0
+			var next []algebra.Row
+			for _, r := range sample {
+				MatchPattern(e.st, pat, r, nil, func(nr algebra.Row) {
+					extended++
+					if len(next) < sampleSize {
+						next = append(next, nr)
+					}
+				})
+			}
+			if len(sample) == 0 {
+				card = 0
+			} else {
+				card = card * float64(extended) / float64(len(sample))
+				if card < 1 {
+					card = 1
+				}
+			}
+			sample = next
+		}
+		cards[k] = card
+		samples[k] = sample
+	}
+	return cards, samples
+}
+
+// sampleSingle collects up to sampleSize matches of a single pattern.
+func (e *estimator) sampleSingle(pat Pattern) []algebra.Row {
+	var out []algebra.Row
+	seed := make(algebra.Row, e.width)
+	MatchPattern(e.st, pat, seed, nil, func(nr algebra.Row) {
+		if len(out) < sampleSize {
+			out = append(out, nr)
+		}
+	})
+	return out
+}
+
+// greedyOrder produces a join order: start from the pattern with the
+// smallest exact count, then repeatedly append the connected pattern
+// (sharing a variable with the chosen set) with the smallest exact count,
+// falling back to the globally smallest remaining pattern when the BGP is
+// disconnected.
+func greedyOrder(st *store.Store, bgp BGP) []int {
+	n := len(bgp)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	counts := make([]int, n)
+	for i, p := range bgp {
+		counts[i] = ExactCount(st, p)
+	}
+	bound := map[int]bool{}
+	for len(order) < n {
+		best, bestCount, bestConn := -1, 0, false
+		for i := range bgp {
+			if used[i] {
+				continue
+			}
+			conn := len(order) == 0
+			for _, v := range bgp[i].Vars() {
+				if bound[v] {
+					conn = true
+					break
+				}
+			}
+			if best == -1 || (conn && !bestConn) || (conn == bestConn && counts[i] < bestCount) {
+				best, bestCount, bestConn = i, counts[i], conn
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range bgp[best].Vars() {
+			bound[v] = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/qgen"
+	"sparqluo/internal/store"
+)
+
+func randomStore(rng *rand.Rand, n int) *store.Store {
+	st := store.New()
+	st.AddAll(qgen.RandomDataset(rng, n))
+	st.Freeze()
+	return st
+}
+
+// randomPattern builds an encoded pattern over a random store, reusing
+// its dictionary so constants often exist.
+func randomPattern(rng *rand.Rand, st *store.Store) Pattern {
+	triples := st.Triples()
+	pick := func() store.EncTriple { return triples[rng.Intn(len(triples))] }
+	pos := func(id store.ID, varIdx int) Pos {
+		if rng.Intn(2) == 0 {
+			return Var(varIdx)
+		}
+		return Const(id)
+	}
+	t := pick()
+	return Pattern{
+		S: pos(t.S, rng.Intn(4)),
+		P: pos(t.P, rng.Intn(4)),
+		O: pos(t.O, rng.Intn(4)),
+	}
+}
+
+// bruteMatches enumerates matches of a pattern by scanning all triples.
+func bruteMatches(st *store.Store, pat Pattern, width int) []algebra.Row {
+	var out []algebra.Row
+	for _, t := range st.Triples() {
+		row := make(algebra.Row, width)
+		ok := true
+		bind := func(p Pos, id store.ID) {
+			if !ok {
+				return
+			}
+			if !p.IsVar {
+				if p.ID != id {
+					ok = false
+				}
+				return
+			}
+			if row[p.Var] != store.None && row[p.Var] != id {
+				ok = false
+				return
+			}
+			row[p.Var] = id
+		}
+		bind(pat.S, t.S)
+		bind(pat.P, t.P)
+		bind(pat.O, t.O)
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func toBag(width int, rows []algebra.Row) *algebra.Bag {
+	b := algebra.NewBag(width)
+	b.Rows = rows
+	return b
+}
+
+// TestQuickMatchPatternMatchesBruteForce: MatchPattern over the indexes
+// agrees with a full scan, for every boundness combination.
+func TestQuickMatchPatternMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 50+rng.Intn(50))
+		const width = 4
+		for k := 0; k < 8; k++ {
+			pat := randomPattern(rng, st)
+			var got []algebra.Row
+			MatchPattern(st, pat, make(algebra.Row, width), nil, func(r algebra.Row) {
+				got = append(got, r)
+			})
+			want := bruteMatches(st, pat, width)
+			if !algebra.MultisetEqual(toBag(width, got), toBag(width, want)) {
+				t.Logf("pattern %+v: got %d want %d", pat, len(got), len(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExactCountMatchesBruteForce: the index-derived count equals
+// the brute-force match count.
+func TestQuickExactCountMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 60)
+		for k := 0; k < 8; k++ {
+			pat := randomPattern(rng, st)
+			if ExactCount(st, pat) != len(bruteMatches(st, pat, 4)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEnginesAgree: the WCO and binary-join engines produce the same
+// bags on random BGPs.
+func TestQuickEnginesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 60+rng.Intn(60))
+		const width = 4
+		var bgp BGP
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			bgp = append(bgp, randomPattern(rng, st))
+		}
+		a := WCOEngine{}.EvalBGP(st, bgp, width, nil)
+		b := BinaryJoinEngine{}.EvalBGP(st, bgp, width, nil)
+		if !algebra.MultisetEqual(a, b) {
+			t.Logf("bgp %+v: wco %d, binary %d", bgp, a.Len(), b.Len())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCandidatesAreExactFilter: evaluating with candidate sets must
+// equal evaluating without and then filtering rows by the candidates.
+func TestQuickCandidatesAreExactFilter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 80)
+		const width = 4
+		var bgp BGP
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			bgp = append(bgp, randomPattern(rng, st))
+		}
+		vars := bgp.Vars()
+		if len(vars) == 0 {
+			return true
+		}
+		// Build a random candidate set for one variable.
+		v := vars[rng.Intn(len(vars))]
+		set := map[store.ID]struct{}{}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			set[store.ID(1+rng.Intn(st.Dict().Len()))] = struct{}{}
+		}
+		cand := Candidates{v: set}
+		for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
+			pruned := engine.EvalBGP(st, bgp, width, cand)
+			plain := engine.EvalBGP(st, bgp, width, nil)
+			want := algebra.NewBag(width)
+			for _, r := range plain.Rows {
+				if _, ok := set[r[v]]; ok {
+					want.Append(r)
+				}
+			}
+			if !algebra.MultisetEqual(pruned, want) {
+				t.Logf("%s: pruned %d, filtered %d (var %d, set %v)",
+					engine.Name(), pruned.Len(), want.Len(), v, set)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyBGPYieldsUnit(t *testing.T) {
+	st := randomStore(rand.New(rand.NewSource(1)), 20)
+	for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
+		got := engine.EvalBGP(st, nil, 3, nil)
+		if got.Len() != 1 {
+			t.Errorf("%s: empty BGP should yield the unit bag, got %d rows", engine.Name(), got.Len())
+		}
+	}
+}
+
+func TestImpossiblePatternYieldsEmpty(t *testing.T) {
+	st := randomStore(rand.New(rand.NewSource(2)), 20)
+	bgp := BGP{{S: Var(0), P: Const(store.None), O: Var(1)}}
+	for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
+		if got := engine.EvalBGP(st, bgp, 2, nil); got.Len() != 0 {
+			t.Errorf("%s: impossible pattern should be empty, got %d", engine.Name(), got.Len())
+		}
+	}
+}
+
+func TestRepeatedVariableWithinPattern(t *testing.T) {
+	st := store.New()
+	self := qgen.RandomDataset(rand.New(rand.NewSource(3)), 1)[0]
+	self.O = self.S // force a self-loop
+	st.Add(self)
+	other := self
+	other.O = qgen.RandomDataset(rand.New(rand.NewSource(4)), 1)[0].S
+	st.Add(other)
+	st.Freeze()
+	p, _ := st.Dict().Lookup(self.P)
+	bgp := BGP{{S: Var(0), P: Const(p), O: Var(0)}} // ?x p ?x
+	for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
+		got := engine.EvalBGP(st, bgp, 1, nil)
+		if got.Len() != 1 {
+			t.Errorf("%s: self-loop pattern: got %d rows, want 1", engine.Name(), got.Len())
+		}
+	}
+}
+
+func TestEstimatesSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	st := randomStore(rng, 200)
+	for trial := 0; trial < 30; trial++ {
+		var bgp BGP
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			bgp = append(bgp, randomPattern(rng, st))
+		}
+		for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
+			card := engine.EstimateCard(st, bgp)
+			cost := engine.EstimateCost(st, bgp)
+			if card < 0 || cost < 0 {
+				t.Fatalf("%s: negative estimate card=%v cost=%v", engine.Name(), card, cost)
+			}
+		}
+	}
+	// Single-pattern estimates are exact.
+	pat := randomPattern(rng, st)
+	exact := float64(ExactCount(st, pat))
+	if got := (WCOEngine{}).EstimateCard(st, BGP{pat}); got != exact {
+		t.Errorf("single-pattern estimate %v, want exact %v", got, exact)
+	}
+}
+
+func TestCandidatesAllows(t *testing.T) {
+	var nilCand Candidates
+	if !nilCand.Allows(0, 5) {
+		t.Error("nil candidates must allow everything")
+	}
+	c := Candidates{1: {store.ID(7): {}}}
+	if !c.Allows(0, 99) {
+		t.Error("unconstrained variable must allow everything")
+	}
+	if !c.Allows(1, 7) || c.Allows(1, 8) {
+		t.Error("constrained variable must filter")
+	}
+}
+
+func TestGreedyOrderConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	st := randomStore(rng, 100)
+	// A chain: ?a p ?b, ?b p ?c, ?c p ?d — order must be connected.
+	triples := st.Triples()
+	p := triples[0].P
+	bgp := BGP{
+		{S: Var(0), P: Const(p), O: Var(1)},
+		{S: Var(1), P: Const(p), O: Var(2)},
+		{S: Var(2), P: Const(p), O: Var(3)},
+	}
+	order := greedyOrder(st, bgp)
+	bound := map[int]bool{}
+	for i, idx := range order {
+		if i > 0 {
+			conn := false
+			for _, v := range bgp[idx].Vars() {
+				if bound[v] {
+					conn = true
+				}
+			}
+			if !conn {
+				t.Fatalf("order %v disconnects at step %d", order, i)
+			}
+		}
+		for _, v := range bgp[idx].Vars() {
+			bound[v] = true
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package exec contains the two BGP evaluation engines the paper builds
+// on: a worst-case-optimal-style vertex-extension engine modelled on
+// gStore's WCO join, and a binary hash-join engine modelled on Jena. Both
+// support the candidate-pruning hook of §6: per-variable candidate sets
+// that restrict index scans on the fly.
+package exec
+
+import (
+	"sort"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/store"
+)
+
+// Pos is one position of an encoded triple pattern: either a query
+// variable (by index) or a ground term (by dictionary ID).
+type Pos struct {
+	IsVar bool
+	Var   int      // variable index when IsVar
+	ID    store.ID // term ID otherwise; store.None means "ground term not in dictionary"
+}
+
+// Var returns a variable position.
+func Var(i int) Pos { return Pos{IsVar: true, Var: i} }
+
+// Const returns a ground position.
+func Const(id store.ID) Pos { return Pos{ID: id} }
+
+// Pattern is a dictionary-encoded triple pattern.
+type Pattern struct {
+	S, P, O Pos
+}
+
+// Vars returns the distinct variable indices of the pattern.
+func (p Pattern) Vars() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, pos := range [3]Pos{p.S, p.P, p.O} {
+		if pos.IsVar && !seen[pos.Var] {
+			seen[pos.Var] = true
+			out = append(out, pos.Var)
+		}
+	}
+	return out
+}
+
+// Impossible reports whether the pattern contains a ground term that is
+// absent from the dictionary, which means it can never match.
+func (p Pattern) Impossible() bool {
+	for _, pos := range [3]Pos{p.S, p.P, p.O} {
+		if !pos.IsVar && pos.ID == store.None {
+			return true
+		}
+	}
+	return false
+}
+
+// BGP is a basic graph pattern: a set of coalescable patterns (Def. 5).
+type BGP []Pattern
+
+// Vars returns the distinct variable indices across the BGP.
+func (b BGP) Vars() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, p := range b {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Candidates maps a variable index to the set of term IDs it may take.
+// A nil map (or missing entry) imposes no restriction. Candidate sets are
+// the query-time pruning mechanism of §6.
+type Candidates map[int]map[store.ID]struct{}
+
+// Allows reports whether variable v may bind to id under c.
+func (c Candidates) Allows(v int, id store.ID) bool {
+	if c == nil {
+		return true
+	}
+	set, ok := c[v]
+	if !ok {
+		return true
+	}
+	_, in := set[id]
+	return in
+}
+
+// Set returns the candidate set for v, or nil if unrestricted.
+func (c Candidates) Set(v int) map[store.ID]struct{} {
+	if c == nil {
+		return nil
+	}
+	return c[v]
+}
+
+// resolve returns the concrete ID a position takes under row, and whether
+// it is bound (constants are always bound).
+func resolve(pos Pos, row algebra.Row) (store.ID, bool) {
+	if !pos.IsVar {
+		return pos.ID, true
+	}
+	id := row[pos.Var]
+	return id, id != store.None
+}
+
+// bindEmit extends row with the given (s,p,o) match of pat, verifying
+// repeated-variable consistency and candidate membership, and calls emit
+// with a fresh row on success.
+func bindEmit(pat Pattern, row algebra.Row, s, p, o store.ID, cand Candidates, emit func(algebra.Row)) {
+	nr := make(algebra.Row, len(row))
+	copy(nr, row)
+	for _, pv := range [3]struct {
+		pos Pos
+		id  store.ID
+	}{{pat.S, s}, {pat.P, p}, {pat.O, o}} {
+		if !pv.pos.IsVar {
+			continue
+		}
+		cur := nr[pv.pos.Var]
+		if cur != store.None {
+			if cur != pv.id {
+				return // repeated variable mismatch
+			}
+			continue
+		}
+		if !cand.Allows(pv.pos.Var, pv.id) {
+			return
+		}
+		nr[pv.pos.Var] = pv.id
+	}
+	emit(nr)
+}
+
+// MatchPattern enumerates all extensions of row that match pat in st,
+// honoring candidate sets, and calls emit for each extended row.
+func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates, emit func(algebra.Row)) {
+	if pat.Impossible() {
+		return
+	}
+	s, sb := resolve(pat.S, row)
+	p, pb := resolve(pat.P, row)
+	o, ob := resolve(pat.O, row)
+
+	switch {
+	case sb && pb && ob:
+		if st.Contains(s, p, o) {
+			bindEmit(pat, row, s, p, o, cand, emit)
+		}
+	case sb && pb:
+		objs := st.ObjectsSP(s, p)
+		// If the object variable has a small candidate set, probe it
+		// instead of scanning the adjacency list.
+		if set := candFor(pat.O, cand); set != nil && len(set) < len(objs) {
+			for x := range set {
+				if st.Contains(s, p, x) {
+					bindEmit(pat, row, s, p, x, cand, emit)
+				}
+			}
+			return
+		}
+		for _, x := range objs {
+			bindEmit(pat, row, s, p, x, cand, emit)
+		}
+	case pb && ob:
+		subs := st.SubjectsPO(p, o)
+		if set := candFor(pat.S, cand); set != nil && len(set) < len(subs) {
+			for x := range set {
+				if st.Contains(x, p, o) {
+					bindEmit(pat, row, x, p, o, cand, emit)
+				}
+			}
+			return
+		}
+		for _, x := range subs {
+			bindEmit(pat, row, x, p, o, cand, emit)
+		}
+	case sb && ob:
+		adj := st.PredObjBySubject(s)
+		for _, pp := range sortedKeys(adj) {
+			for _, x := range adj[pp] {
+				if x == o {
+					bindEmit(pat, row, s, pp, o, cand, emit)
+				}
+			}
+		}
+	case pb:
+		// Only the predicate is bound: drive by the smaller of the
+		// subject candidate set and the subject adjacency.
+		adj := st.SubjObjByPredicate(p)
+		if set := candFor(pat.S, cand); set != nil && len(set) < len(adj) {
+			for _, ss := range sortedSet(set) {
+				for _, x := range adj[ss] {
+					bindEmit(pat, row, ss, p, x, cand, emit)
+				}
+			}
+			return
+		}
+		if set := candFor(pat.O, cand); set != nil {
+			oAdj := st.ObjSubjByPredicate(p)
+			if len(set) < len(oAdj) {
+				for _, oo := range sortedSet(set) {
+					for _, ss := range oAdj[oo] {
+						bindEmit(pat, row, ss, p, oo, cand, emit)
+					}
+				}
+				return
+			}
+		}
+		for _, ss := range st.SubjectsOfPredicate(p) {
+			for _, x := range adj[ss] {
+				bindEmit(pat, row, ss, p, x, cand, emit)
+			}
+		}
+	case sb:
+		adj := st.PredObjBySubject(s)
+		for _, pp := range sortedKeys(adj) {
+			for _, x := range adj[pp] {
+				bindEmit(pat, row, s, pp, x, cand, emit)
+			}
+		}
+	case ob:
+		adj := st.PredSubjByObject(o)
+		for _, pp := range sortedKeys(adj) {
+			for _, x := range adj[pp] {
+				bindEmit(pat, row, x, pp, o, cand, emit)
+			}
+		}
+	default:
+		for _, t := range st.Triples() {
+			bindEmit(pat, row, t.S, t.P, t.O, cand, emit)
+		}
+	}
+}
+
+func candFor(pos Pos, cand Candidates) map[store.ID]struct{} {
+	if !pos.IsVar {
+		return nil
+	}
+	return cand.Set(pos.Var)
+}
+
+// repeatedVar reports whether the same variable occurs at two positions.
+func repeatedVar(p Pattern) bool {
+	if p.S.IsVar && p.P.IsVar && p.S.Var == p.P.Var {
+		return true
+	}
+	if p.S.IsVar && p.O.IsVar && p.S.Var == p.O.Var {
+		return true
+	}
+	if p.P.IsVar && p.O.IsVar && p.P.Var == p.O.Var {
+		return true
+	}
+	return false
+}
+
+// sortedKeys returns map keys in ascending ID order; the per-subject and
+// per-object predicate maps are small, so sorting keeps scans
+// deterministic at negligible cost.
+func sortedKeys(m map[store.ID][]store.ID) []store.ID {
+	keys := make([]store.ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// sortedSet returns set members in ascending ID order.
+func sortedSet(s map[store.ID]struct{}) []store.ID {
+	out := make([]store.ID, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExactCount returns the exact number of matches of a single pattern with
+// no prior bindings (candidate sets ignored), read off the indexes.
+func ExactCount(st *store.Store, pat Pattern) int {
+	if pat.Impossible() {
+		return 0
+	}
+	if repeatedVar(pat) {
+		// A repeated variable (e.g. ?x p ?x) constrains matches beyond
+		// what the index sizes reflect; enumerate.
+		width := 0
+		for _, v := range pat.Vars() {
+			if v+1 > width {
+				width = v + 1
+			}
+		}
+		n := 0
+		MatchPattern(st, pat, make(algebra.Row, width), nil, func(algebra.Row) { n++ })
+		return n
+	}
+	sb, pb, ob := !pat.S.IsVar, !pat.P.IsVar, !pat.O.IsVar
+	switch {
+	case sb && pb && ob:
+		if st.Contains(pat.S.ID, pat.P.ID, pat.O.ID) {
+			return 1
+		}
+		return 0
+	case sb && pb:
+		return st.CountSP(pat.S.ID, pat.P.ID)
+	case pb && ob:
+		return st.CountPO(pat.P.ID, pat.O.ID)
+	case pb:
+		return st.CountP(pat.P.ID)
+	case sb && ob:
+		n := 0
+		for _, objs := range st.PredObjBySubject(pat.S.ID) {
+			for _, x := range objs {
+				if x == pat.O.ID {
+					n++
+				}
+			}
+		}
+		return n
+	case sb:
+		n := 0
+		for _, objs := range st.PredObjBySubject(pat.S.ID) {
+			n += len(objs)
+		}
+		return n
+	case ob:
+		n := 0
+		for _, subs := range st.PredSubjByObject(pat.O.ID) {
+			n += len(subs)
+		}
+		return n
+	default:
+		return st.NumTriples()
+	}
+}

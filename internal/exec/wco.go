@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/store"
+)
+
+// WCOEngine evaluates BGPs in the style of gStore's worst-case-optimal
+// join (§5.1.2): one triple pattern is matched at a time, extending every
+// partial mapping through the permutation indexes, so intermediate results
+// never exceed the true prefix result sizes.
+type WCOEngine struct{}
+
+// Name implements Engine.
+func (WCOEngine) Name() string { return "wco" }
+
+// EvalBGP implements Engine by vertex extension along a greedy join order.
+func (WCOEngine) EvalBGP(st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+	out := algebra.NewBag(width)
+	for _, v := range bgp.Vars() {
+		out.Cert.Set(v)
+		out.Maybe.Set(v)
+	}
+	if len(bgp) == 0 {
+		out.Rows = []algebra.Row{make(algebra.Row, width)}
+		return out
+	}
+	for _, p := range bgp {
+		if p.Impossible() {
+			return out
+		}
+	}
+	order := greedyOrderWithCands(st, bgp, cand)
+	rows := []algebra.Row{make(algebra.Row, width)}
+	for _, idx := range order {
+		pat := bgp[idx]
+		var next []algebra.Row
+		for _, r := range rows {
+			MatchPattern(st, pat, r, cand, func(nr algebra.Row) {
+				next = append(next, nr)
+			})
+		}
+		rows = next
+		if len(rows) == 0 {
+			return out
+		}
+	}
+	out.Rows = rows
+	return out
+}
+
+// greedyOrderWithCands is greedyOrder, but a pattern whose variable has a
+// candidate set is treated as more selective: candidate sets bound the
+// scan, so starting from them realizes the pruning of §6.
+func greedyOrderWithCands(st *store.Store, bgp BGP, cand Candidates) []int {
+	if cand == nil {
+		return greedyOrder(st, bgp)
+	}
+	n := len(bgp)
+	counts := make([]int, n)
+	for i, p := range bgp {
+		c := ExactCount(st, p)
+		for _, v := range p.Vars() {
+			if set := cand.Set(v); set != nil && len(set) < c {
+				c = len(set)
+			}
+		}
+		counts[i] = c
+	}
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[int]bool{}
+	for len(order) < n {
+		best, bestCount, bestConn := -1, 0, false
+		for i := range bgp {
+			if used[i] {
+				continue
+			}
+			conn := len(order) == 0
+			for _, v := range bgp[i].Vars() {
+				if bound[v] {
+					conn = true
+					break
+				}
+			}
+			if best == -1 || (conn && !bestConn) || (conn == bestConn && counts[i] < bestCount) {
+				best, bestCount, bestConn = i, counts[i], conn
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, v := range bgp[best].Vars() {
+			bound[v] = true
+		}
+	}
+	return order
+}
+
+// EstimateCard implements Engine via the shared sampling estimator.
+func (WCOEngine) EstimateCard(st *store.Store, bgp BGP) float64 {
+	if len(bgp) == 0 {
+		return 1
+	}
+	est := newEstimator(st, bgp)
+	order := greedyOrder(st, bgp)
+	cards, _ := est.estimate(bgp, order)
+	return cards[len(cards)-1]
+}
+
+// EstimateCost implements Engine with the WCO-join cost formula:
+//
+//	cost(WCOJoin({v1..vk-1}, vk)) = card({v1..vk-1}) × min_i avg_size(vi, p)
+//
+// summed over the extension steps of the greedy order. The first pattern's
+// cost is its scan size.
+func (WCOEngine) EstimateCost(st *store.Store, bgp BGP) float64 {
+	if len(bgp) == 0 {
+		return 0
+	}
+	est := newEstimator(st, bgp)
+	order := greedyOrder(st, bgp)
+	cards, _ := est.estimate(bgp, order)
+	stats := st.Stats()
+	cost := float64(ExactCount(st, bgp[order[0]]))
+	bound := map[int]bool{}
+	for _, v := range bgp[order[0]].Vars() {
+		bound[v] = true
+	}
+	for k := 1; k < len(order); k++ {
+		pat := bgp[order[k]]
+		avg := avgExtensionSize(stats, pat, bound)
+		cost += cards[k-1] * avg
+		for _, v := range pat.Vars() {
+			bound[v] = true
+		}
+	}
+	return cost
+}
+
+// avgExtensionSize returns min over already-bound vertices vi of
+// average_size(vi, p): the average number of edges with the pattern's
+// predicate incident on vi in the direction the pattern uses. When the
+// predicate is itself a variable or no endpoint is bound, it falls back to
+// the overall average degree.
+func avgExtensionSize(stats *store.Stats, pat Pattern, bound map[int]bool) float64 {
+	if stats == nil {
+		return 1
+	}
+	var p store.ID
+	if !pat.P.IsVar {
+		p = pat.P.ID
+	}
+	best := -1.0
+	consider := func(v float64) {
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	if pat.S.IsVar && bound[pat.S.Var] || !pat.S.IsVar {
+		if p != store.None {
+			consider(stats.AvgOutDegree(p))
+		}
+	}
+	if pat.O.IsVar && bound[pat.O.Var] || !pat.O.IsVar {
+		if p != store.None {
+			consider(stats.AvgInDegree(p))
+		}
+	}
+	if best < 0 {
+		// Disconnected extension: effectively a scan of the predicate.
+		if p != store.None {
+			return float64(stats.PredCount[p])
+		}
+		return float64(stats.NumTriples)
+	}
+	return best
+}

@@ -1,0 +1,258 @@
+// Package lubm generates synthetic LUBM-style RDF data (the Lehigh
+// University Benchmark). It is a faithful schema-level replacement for
+// the official Java generator: the entity hierarchy (universities →
+// departments → professors / students / courses / publications), the
+// predicate vocabulary the paper's queries touch, and the naming scheme
+// of the query constants (e.g.
+// <http://www.Department0.University0.edu/UndergraduateStudent91>) are
+// preserved; absolute sizes are scaled down so the datasets stay
+// laptop-sized while keeping the selectivity contrasts the experiments
+// rely on.
+//
+// Generation is deterministic for a given Config (seeded PRNG).
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparqluo/internal/rdf"
+)
+
+// Namespace IRIs.
+const (
+	UB  = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+	RDF = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+)
+
+// Config controls dataset shape. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	Universities int // scale factor; LUBM's "number of universities"
+	Seed         int64
+
+	// Per-department population. MinDepts..MaxDepts departments per
+	// university (University0 always has at least 13 so the paper's
+	// Department12 constants exist).
+	MinDepts, MaxDepts int
+	FullProfs          int
+	AssocProfs         int
+	AsstProfs          int
+	Lecturers          int
+	UndergradStudents  int
+	GradStudents       int
+	Courses            int
+	GradCourses        int
+	ResearchGroups     int
+	PubsPerProf        int
+}
+
+// DefaultConfig returns the shape used by the experiment harness: a
+// scaled-down LUBM with the same structure.
+func DefaultConfig(universities int) Config {
+	return Config{
+		Universities:      universities,
+		Seed:              42,
+		MinDepts:          4,
+		MaxDepts:          8,
+		FullProfs:         3,
+		AssocProfs:        3,
+		AsstProfs:         3,
+		Lecturers:         2,
+		UndergradStudents: 40,
+		GradStudents:      12,
+		Courses:           10,
+		GradCourses:       5,
+		ResearchGroups:    3,
+		PubsPerProf:       2,
+	}
+}
+
+// Generate produces the dataset as a slice of triples.
+func Generate(cfg Config) []rdf.Triple {
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.run()
+	return g.out
+}
+
+type generator struct {
+	cfg cfg
+	rng *rand.Rand
+	out []rdf.Triple
+
+	allUniversities []rdf.Term
+}
+
+// cfg aliases Config so methods read naturally.
+type cfg = Config
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+
+func (g *generator) emit(s rdf.Term, pred string, o rdf.Term) {
+	g.out = append(g.out, rdf.Triple{S: s, P: iri(UB + pred), O: o})
+}
+
+func (g *generator) emitType(s rdf.Term, class string) {
+	g.out = append(g.out, rdf.Triple{S: s, P: iri(RDF + "type"), O: iri(UB + class)})
+}
+
+func (g *generator) run() {
+	for u := 0; u < g.cfg.Universities; u++ {
+		g.allUniversities = append(g.allUniversities,
+			iri(fmt.Sprintf("http://www.University%d.edu", u)))
+	}
+	for u := 0; u < g.cfg.Universities; u++ {
+		g.university(u)
+	}
+}
+
+func (g *generator) randUniversity() rdf.Term {
+	return g.allUniversities[g.rng.Intn(len(g.allUniversities))]
+}
+
+func (g *generator) university(u int) {
+	univ := g.allUniversities[u]
+	g.emitType(univ, "University")
+	g.emit(univ, "name", rdf.NewLiteral(fmt.Sprintf("University%d", u)))
+
+	depts := g.cfg.MinDepts + g.rng.Intn(g.cfg.MaxDepts-g.cfg.MinDepts+1)
+	if u == 0 && depts < 13 {
+		// q1.4 references Department12.University0.edu.
+		depts = 13
+	}
+	for d := 0; d < depts; d++ {
+		g.department(u, d, univ)
+	}
+}
+
+func (g *generator) department(u, d int, univ rdf.Term) {
+	base := fmt.Sprintf("http://www.Department%d.University%d.edu", d, u)
+	dept := iri(base)
+	g.emitType(dept, "Department")
+	g.emit(dept, "subOrganizationOf", univ)
+	g.emit(dept, "name", rdf.NewLiteral(fmt.Sprintf("Department%d", d)))
+
+	// Research groups.
+	var groups []rdf.Term
+	for i := 0; i < g.cfg.ResearchGroups; i++ {
+		rg := iri(fmt.Sprintf("%s/ResearchGroup%d", base, i))
+		g.emitType(rg, "ResearchGroup")
+		g.emit(rg, "subOrganizationOf", dept)
+		// Research groups are also sub-organizations of the university,
+		// giving ?x subOrganizationOf ?y chains depth 2 (used by q1.3).
+		g.emit(rg, "subOrganizationOf", univ)
+		groups = append(groups, rg)
+	}
+
+	// Courses.
+	var courses []rdf.Term
+	for i := 0; i < g.cfg.Courses; i++ {
+		c := iri(fmt.Sprintf("%s/Course%d", base, i))
+		g.emitType(c, "Course")
+		g.emit(c, "name", rdf.NewLiteral(fmt.Sprintf("Course%d", i)))
+		courses = append(courses, c)
+	}
+	for i := 0; i < g.cfg.GradCourses; i++ {
+		c := iri(fmt.Sprintf("%s/GraduateCourse%d", base, i))
+		g.emitType(c, "GraduateCourse")
+		g.emit(c, "name", rdf.NewLiteral(fmt.Sprintf("GraduateCourse%d", i)))
+		courses = append(courses, c)
+	}
+
+	// Faculty.
+	type facultyClass struct {
+		class string
+		count int
+	}
+	var faculty []rdf.Term
+	for _, fc := range []facultyClass{
+		{"FullProfessor", g.cfg.FullProfs},
+		{"AssociateProfessor", g.cfg.AssocProfs},
+		{"AssistantProfessor", g.cfg.AsstProfs},
+		{"Lecturer", g.cfg.Lecturers},
+	} {
+		for i := 0; i < fc.count; i++ {
+			f := iri(fmt.Sprintf("%s/%s%d", base, fc.class, i))
+			g.emitType(f, fc.class)
+			g.emit(f, "name", rdf.NewLiteral(fmt.Sprintf("%s%d", fc.class, i)))
+			g.emit(f, "worksFor", dept)
+			g.emit(f, "emailAddress", rdf.NewLiteral(
+				fmt.Sprintf("%s%d@Department%d.University%d.edu", fc.class, i, d, u)))
+			g.emit(f, "telephone", rdf.NewLiteral(fmt.Sprintf("xxx-xxx-%04d", g.rng.Intn(10000))))
+			g.emit(f, "undergraduateDegreeFrom", g.randUniversity())
+			g.emit(f, "mastersDegreeFrom", g.randUniversity())
+			g.emit(f, "doctoralDegreeFrom", g.randUniversity())
+			g.emit(f, "researchInterest", rdf.NewLiteral(fmt.Sprintf("Research%d", g.rng.Intn(30))))
+			if len(courses) > 0 {
+				g.emit(f, "teacherOf", courses[g.rng.Intn(len(courses))])
+				g.emit(f, "teacherOf", courses[g.rng.Intn(len(courses))])
+			}
+			faculty = append(faculty, f)
+		}
+	}
+	// The head of the department is the first full professor.
+	if g.cfg.FullProfs > 0 {
+		head := iri(fmt.Sprintf("%s/FullProfessor0", base))
+		g.emit(head, "headOf", dept)
+	}
+
+	// Publications.
+	for fi, f := range faculty {
+		for p := 0; p < g.cfg.PubsPerProf; p++ {
+			pub := iri(fmt.Sprintf("%s/Publication%d_%d", base, fi, p))
+			g.emitType(pub, "Publication")
+			g.emit(pub, "publicationAuthor", f)
+			g.emit(pub, "name", rdf.NewLiteral(fmt.Sprintf("Publication%d_%d", fi, p)))
+		}
+	}
+
+	// Undergraduate students.
+	for i := 0; i < g.cfg.UndergradStudents; i++ {
+		s := iri(fmt.Sprintf("%s/UndergraduateStudent%d", base, i))
+		g.emitType(s, "UndergraduateStudent")
+		g.emit(s, "name", rdf.NewLiteral(fmt.Sprintf("UndergraduateStudent%d", i)))
+		g.emit(s, "memberOf", dept)
+		g.emit(s, "emailAddress", rdf.NewLiteral(
+			fmt.Sprintf("UndergraduateStudent%d@Department%d.University%d.edu", i, d, u)))
+		g.emit(s, "telephone", rdf.NewLiteral(fmt.Sprintf("yyy-yyy-%04d", g.rng.Intn(10000))))
+		for k := 0; k < 2; k++ {
+			if len(courses) > 0 {
+				g.emit(s, "takesCourse", courses[g.rng.Intn(len(courses))])
+			}
+		}
+		if len(faculty) > 0 && g.rng.Intn(5) == 0 {
+			g.emit(s, "advisor", faculty[g.rng.Intn(len(faculty))])
+		}
+		g.emit(s, "undergraduateDegreeFrom", g.randUniversity())
+	}
+
+	// Graduate students.
+	for i := 0; i < g.cfg.GradStudents; i++ {
+		s := iri(fmt.Sprintf("%s/GraduateStudent%d", base, i))
+		g.emitType(s, "GraduateStudent")
+		g.emit(s, "name", rdf.NewLiteral(fmt.Sprintf("GraduateStudent%d", i)))
+		g.emit(s, "memberOf", dept)
+		g.emit(s, "emailAddress", rdf.NewLiteral(
+			fmt.Sprintf("GraduateStudent%d@Department%d.University%d.edu", i, d, u)))
+		g.emit(s, "undergraduateDegreeFrom", g.randUniversity())
+		for k := 0; k < 2; k++ {
+			if len(courses) > 0 {
+				g.emit(s, "takesCourse", courses[g.rng.Intn(len(courses))])
+			}
+		}
+		if len(faculty) > 0 {
+			g.emit(s, "advisor", faculty[g.rng.Intn(len(faculty))])
+		}
+		// Some grad students TA a course they could also take.
+		if len(courses) > 0 && g.rng.Intn(2) == 0 {
+			g.emit(s, "teachingAssistantOf", courses[g.rng.Intn(len(courses))])
+		}
+		// Some co-author a publication with faculty.
+		if g.rng.Intn(3) == 0 && len(faculty) > 0 {
+			pub := iri(fmt.Sprintf("%s/StudentPublication%d", base, i))
+			g.emitType(pub, "Publication")
+			g.emit(pub, "publicationAuthor", s)
+			g.emit(pub, "publicationAuthor", faculty[g.rng.Intn(len(faculty))])
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package rdf
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasicTriples(t *testing.T) {
+	const doc = `
+# a comment
+<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> .
+<http://ex.org/s> <http://ex.org/p> "plain" .
+<http://ex.org/s> <http://ex.org/p> "hello"@en .
+<http://ex.org/s> <http://ex.org/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <http://ex.org/p> _:b1 .
+`
+	ts, err := ParseAll(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("got %d triples, want 5", len(ts))
+	}
+	if ts[1].O.Value != "plain" || ts[1].O.Kind != Literal {
+		t.Errorf("plain literal: %+v", ts[1].O)
+	}
+	if ts[2].O.Lang != "en" {
+		t.Errorf("lang literal: %+v", ts[2].O)
+	}
+	if ts[3].O.Datatype != "http://www.w3.org/2001/XMLSchema#integer" {
+		t.Errorf("typed literal: %+v", ts[3].O)
+	}
+	if !ts[4].S.IsBlank() || ts[4].S.Value != "b0" {
+		t.Errorf("blank subject: %+v", ts[4].S)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	const doc = `
+@prefix ex: <http://ex.org/> .
+ex:s ex:p ex:o .
+ex:s ex:p "x" .
+`
+	ts, err := ParseAll(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2", len(ts))
+	}
+	if ts[0].S.Value != "http://ex.org/s" {
+		t.Errorf("prefix expansion: %q", ts[0].S.Value)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	const doc = `<http://e/s> <http://e/p> "a\"b\\c\nd\te" .`
+	ts, err := ParseAll(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a\"b\\c\nd\te"; ts[0].O.Value != want {
+		t.Errorf("escapes: %q, want %q", ts[0].O.Value, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, doc string
+	}{
+		{"missing dot", `<http://e/s> <http://e/p> <http://e/o>`},
+		{"literal subject", `"x" <http://e/p> <http://e/o> .`},
+		{"unterminated IRI", `<http://e/s <http://e/p> <http://e/o> .`},
+		{"unterminated literal", `<http://e/s> <http://e/p> "x .`},
+		{"undeclared prefix", `ex:s ex:p ex:o .`},
+		{"bad escape", `<http://e/s> <http://e/p> "\q" .`},
+		{"garbage", `hello world foo .`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAll(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Errorf("want parse error for %q", tc.doc)
+			}
+			var pe *ParseError
+			if err != nil {
+				if ok := asParseError(err, &pe); !ok {
+					t.Errorf("error should be *ParseError, got %T", err)
+				} else if pe.Line != 1 {
+					t.Errorf("line = %d, want 1", pe.Line)
+				}
+			}
+		})
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*out = pe
+	}
+	return ok
+}
+
+func TestTripleValid(t *testing.T) {
+	valid := Triple{S: NewIRI("s"), P: NewIRI("p"), O: NewLiteral("x")}
+	if !valid.Valid() {
+		t.Error("IRI-pred triple should be valid")
+	}
+	bad1 := Triple{S: NewLiteral("x"), P: NewIRI("p"), O: NewIRI("o")}
+	if bad1.Valid() {
+		t.Error("literal subject should be invalid")
+	}
+	bad2 := Triple{S: NewIRI("s"), P: NewLiteral("p"), O: NewIRI("o")}
+	if bad2.Valid() {
+		t.Error("literal predicate should be invalid")
+	}
+}
+
+func TestTermKeyUniqueAcrossKinds(t *testing.T) {
+	terms := []Term{
+		NewIRI("x"), NewLiteral("x"), NewBlank("x"),
+		NewLangLiteral("x", "en"), NewTypedLiteral("x", "dt"),
+	}
+	seen := map[string]Term{}
+	for _, tm := range terms {
+		if prev, ok := seen[tm.Key()]; ok {
+			t.Errorf("key collision between %v and %v", prev, tm)
+		}
+		seen[tm.Key()] = tm
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://e/x"), "<http://e/x>"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewTypedLiteral("1", "http://dt"), `"1"^^<http://dt>`},
+		{NewBlank("b"), "_:b"},
+		{NewLiteral("a\"b"), `"a\"b"`},
+	}
+	for _, tc := range cases {
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.term, got, tc.want)
+		}
+	}
+}
+
+// randomTerm produces terms with interesting characters for round-trips.
+func randomTerm(rng *rand.Rand, subjectPos bool) Term {
+	alphabet := []string{"a", "b", "x1", "ü", "tab\tchar", "nl\nline", `quo"te`, `back\slash`}
+	pick := func() string { return alphabet[rng.Intn(len(alphabet))] }
+	switch k := rng.Intn(3); {
+	case k == 0 || subjectPos && k == 2:
+		return NewIRI("http://ex.org/" + strings.Map(safeIRIChar, pick()))
+	case k == 1:
+		return NewBlank("b" + strings.Map(safeLabelChar, pick()))
+	default:
+		switch rng.Intn(3) {
+		case 0:
+			return NewLiteral(pick())
+		case 1:
+			return NewLangLiteral(pick(), "en-US")
+		default:
+			return NewTypedLiteral(pick(), "http://www.w3.org/2001/XMLSchema#string")
+		}
+	}
+}
+
+func safeIRIChar(r rune) rune {
+	if r == '>' || r == ' ' || r == '\t' || r == '\n' || r == '"' || r == '\\' {
+		return '_'
+	}
+	return r
+}
+
+func safeLabelChar(r rune) rune {
+	if r == ' ' || r == '\t' || r == '\n' || r == '"' || r == '\\' {
+		return '_'
+	}
+	return r
+}
+
+// TestQuickEncodeDecodeRoundTrip: serialize-then-parse is the identity on
+// random triples.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in []Triple
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			in = append(in, Triple{
+				S: randomTerm(rng, true),
+				P: NewIRI("http://ex.org/p"),
+				O: randomTerm(rng, false),
+			})
+		}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		for _, tr := range in {
+			if err := enc.Encode(tr); err != nil {
+				return false
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			return false
+		}
+		out, err := ParseAll(&buf)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !out[i].S.Equal(in[i].S) || !out[i].P.Equal(in[i].P) || !out[i].O.Equal(in[i].O) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderEOF(t *testing.T) {
+	d := NewDecoder(strings.NewReader(""))
+	if _, err := d.Decode(); err != io.EOF {
+		t.Errorf("empty input: want io.EOF, got %v", err)
+	}
+}
+
+func TestEncoderStickyError(t *testing.T) {
+	enc := NewEncoder(failWriter{})
+	tr := Triple{S: NewIRI("s"), P: NewIRI("p"), O: NewIRI("o")}
+	_ = enc.Encode(tr)
+	if err := enc.Flush(); err == nil {
+		t.Error("want sticky error from failing writer")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }

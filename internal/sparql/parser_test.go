@@ -1,0 +1,251 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"sparqluo/internal/rdf"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse(`SELECT ?x ?y WHERE { ?x <http://e/p> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0] != "x" || q.Select[1] != "y" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.Where.Elements) != 1 {
+		t.Fatalf("elements = %d", len(q.Where.Elements))
+	}
+	tp, ok := q.Where.Elements[0].(TriplePattern)
+	if !ok {
+		t.Fatalf("element type %T", q.Where.Elements[0])
+	}
+	if !tp.S.IsVar || tp.S.Var != "x" {
+		t.Errorf("S = %+v", tp.S)
+	}
+	if tp.P.IsVar || tp.P.Term.Value != "http://e/p" {
+		t.Errorf("P = %+v", tp.P)
+	}
+}
+
+func TestParseSelectStarAndBare(t *testing.T) {
+	for _, src := range []string{
+		`SELECT * WHERE { ?x <http://e/p> ?y }`,
+		`SELECT WHERE { ?x <http://e/p> ?y }`, // the paper's bare form
+		`SELECT { ?x <http://e/p> ?y }`,       // WHERE is optional
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if len(q.Select) != 0 {
+			t.Errorf("%q: Select = %v, want empty (all)", src, q.Select)
+		}
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?x WHERE { ?x <http://e/p> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct {
+		t.Error("Distinct not set")
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q, err := Parse(`
+PREFIX ex: <http://ex.org/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT * WHERE { ex:s rdf:type ex:C . ?x a ex:C . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := q.Where.Elements[0].(TriplePattern)
+	if tp.S.Term.Value != "http://ex.org/s" {
+		t.Errorf("prefix expansion: %q", tp.S.Term.Value)
+	}
+	tp2 := q.Where.Elements[1].(TriplePattern)
+	if tp2.P.Term.Value != "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" {
+		t.Errorf("'a' shorthand: %q", tp2.P.Term.Value)
+	}
+}
+
+func TestParseUnionChain(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE {
+		{ ?x <http://e/a> ?y } UNION { ?x <http://e/b> ?y } UNION { ?x <http://e/c> ?y }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := q.Where.Elements[0].(*Union)
+	if !ok {
+		t.Fatalf("element type %T", q.Where.Elements[0])
+	}
+	if len(u.Branches) != 3 {
+		t.Errorf("branches = %d, want 3", len(u.Branches))
+	}
+}
+
+func TestParseNestedOptional(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE {
+		?x <http://e/p> ?y .
+		OPTIONAL { ?y <http://e/q> ?z . OPTIONAL { ?z <http://e/r> ?w } }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ok := q.Where.Elements[1].(*Optional)
+	if !ok {
+		t.Fatalf("element type %T", q.Where.Elements[1])
+	}
+	if len(opt.Group.Elements) != 2 {
+		t.Fatalf("inner elements = %d", len(opt.Group.Elements))
+	}
+	if _, ok := opt.Group.Elements[1].(*Optional); !ok {
+		t.Errorf("nested optional type %T", opt.Group.Elements[1])
+	}
+}
+
+func TestParseNestedGroupNotUnion(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { { ?x <http://e/p> ?y . } ?x <http://e/q> ?z . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Where.Elements[0].(*Group); !ok {
+		t.Errorf("element type %T, want *Group", q.Where.Elements[0])
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE {
+		?x <http://e/p> "plain" .
+		?x <http://e/p> "hi"@en .
+		?x <http://e/p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .
+		?x <http://e/p> "esc\"aped\n" .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(i int) rdf.Term { return q.Where.Elements[i].(TriplePattern).O.Term }
+	if get(0).Value != "plain" {
+		t.Errorf("plain: %+v", get(0))
+	}
+	if get(1).Lang != "en" {
+		t.Errorf("lang: %+v", get(1))
+	}
+	if get(2).Datatype != "http://www.w3.org/2001/XMLSchema#integer" {
+		t.Errorf("typed: %+v", get(2))
+	}
+	if get(3).Value != "esc\"aped\n" {
+		t.Errorf("escaped: %q", get(3).Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no select", `{ ?x ?p ?y }`},
+		{"unclosed group", `SELECT * WHERE { ?x ?p ?y .`},
+		{"dangling union", `SELECT * WHERE { UNION { ?x ?p ?y } }`},
+		{"undeclared prefix", `SELECT * WHERE { ex:a ex:b ex:c }`},
+		{"a in subject", `SELECT * WHERE { a <http://e/p> ?x }`},
+		{"trailing tokens", `SELECT * WHERE { ?x <http://e/p> ?y } extra:tok`},
+		{"empty var", `SELECT ? WHERE { ?x <http://e/p> ?y }`},
+		{"unterminated literal", `SELECT * WHERE { ?x <http://e/p> "abc }`},
+		{"bad prefix decl", `PREFIX <http://e/> SELECT * WHERE { ?x <http://e/p> ?y }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("want error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestCoalescableTriplePatterns(t *testing.T) {
+	tp := func(s, p, o string) TriplePattern {
+		mk := func(x string) TermOrVar {
+			if strings.HasPrefix(x, "?") {
+				return Variable(x[1:])
+			}
+			return Ground(rdf.NewIRI(x))
+		}
+		return TriplePattern{S: mk(s), P: mk(p), O: mk(o)}
+	}
+	cases := []struct {
+		a, b TriplePattern
+		want bool
+	}{
+		{tp("?x", "p", "?y"), tp("?y", "q", "?z"), true},    // shared ?y
+		{tp("?x", "p", "?y"), tp("?a", "q", "?b"), false},   // disjoint
+		{tp("?x", "p", "c"), tp("c", "q", "?x"), true},      // shared ?x
+		{tp("?x", "?p", "?y"), tp("?a", "?p", "?b"), false}, // predicate vars don't count (Def. 3)
+		{tp("s", "p", "o"), tp("s", "p", "o"), false},       // no variables at all
+	}
+	for i, tc := range cases {
+		if got := Coalescable(tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: Coalescable = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	src := `SELECT ?x WHERE {
+		?x <http://e/p> ?y .
+		{ ?x <http://e/a> ?z } UNION { ?x <http://e/b> ?z }
+		OPTIONAL { ?y <http://e/q> ?w . }
+	}`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The normalized rendering must itself parse to the same structure.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("rendered query does not parse: %v\n%s", err, q.String())
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", q.String(), q2.String())
+	}
+}
+
+func TestTriplePatternVars(t *testing.T) {
+	tp := TriplePattern{S: Variable("x"), P: Variable("p"), O: Variable("x")}
+	vars := tp.Vars()
+	if len(vars) != 2 {
+		t.Errorf("Vars = %v, want [x p]", vars)
+	}
+	so := tp.SubjObjVars()
+	if len(so) != 1 || so[0] != "x" {
+		t.Errorf("SubjObjVars = %v, want [x]", so)
+	}
+}
+
+func TestDollarVariable(t *testing.T) {
+	q, err := Parse(`SELECT $x WHERE { $x <http://e/p> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0] != "x" {
+		t.Errorf("dollar var: %v", q.Select)
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	q, err := Parse(`
+# leading comment
+SELECT * WHERE { # inline
+  ?x <http://e/p> ?y . # after pattern
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where.Elements) != 1 {
+		t.Errorf("elements = %d", len(q.Where.Elements))
+	}
+}

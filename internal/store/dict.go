@@ -1,0 +1,60 @@
+// Package store implements the RDF storage substrate that the BE-tree
+// optimizer sits on: dictionary encoding of terms to dense integer IDs,
+// permutation indexes over the encoded triples, and the statistics /
+// sampling-based cardinality estimation described in §5.1.2 of the paper.
+package store
+
+import (
+	"fmt"
+
+	"sparqluo/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. ID 0 is reserved as the
+// "unbound" sentinel and never denotes a term.
+type ID uint32
+
+// None is the reserved unbound/absent ID.
+const None ID = 0
+
+// Dict maps RDF terms to dense IDs and back. IDs start at 1; 0 is reserved.
+// The zero value is not usable; call NewDict.
+type Dict struct {
+	ids   map[string]ID
+	terms []rdf.Term // terms[i-1] is the term with ID i
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]ID)}
+}
+
+// Encode returns the ID for t, assigning a fresh one if t is new.
+func (d *Dict) Encode(t rdf.Term) ID {
+	key := t.Key()
+	if id, ok := d.ids[key]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.ids[key] = id
+	return id
+}
+
+// Lookup returns the ID for t without inserting, and whether it exists.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	id, ok := d.ids[t.Key()]
+	return id, ok
+}
+
+// Decode returns the term for id. It panics on the reserved ID 0 or an
+// out-of-range id, which always indicates a programming error.
+func (d *Dict) Decode(id ID) rdf.Term {
+	if id == None || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("store: decode of invalid ID %d (dict size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of distinct terms in the dictionary.
+func (d *Dict) Len() int { return len(d.terms) }

@@ -1,0 +1,72 @@
+package store
+
+// Stats holds the per-predicate statistics used by the BGP cost models of
+// §5.1.2. They are computed once at Freeze time.
+//
+// averageSize(v, p) in the WCO-join cost formula is the average number of
+// edges with predicate p incident to a single subject (forward direction)
+// or object (backward direction); we precompute both directions.
+type Stats struct {
+	NumTriples   int
+	NumEntities  int // distinct subjects ∪ IRI/blank objects
+	NumPreds     int
+	NumLiterals  int        // distinct literal objects
+	PredCount    map[ID]int // triples per predicate
+	PredSubjects map[ID]int // distinct subjects per predicate
+	PredObjects  map[ID]int // distinct objects per predicate
+}
+
+func computeStats(st *Store) *Stats {
+	s := &Stats{
+		NumTriples:   len(st.triples),
+		PredCount:    make(map[ID]int),
+		PredSubjects: make(map[ID]int),
+		PredObjects:  make(map[ID]int),
+	}
+	entities := make(map[ID]struct{})
+	literals := make(map[ID]struct{})
+	for p, subjMap := range st.pso {
+		s.PredSubjects[p] = len(subjMap)
+		n := 0
+		for _, objs := range subjMap {
+			n += len(objs)
+		}
+		s.PredCount[p] = n
+	}
+	for p, objMap := range st.pos {
+		s.PredObjects[p] = len(objMap)
+	}
+	s.NumPreds = len(st.pso)
+	for _, t := range st.triples {
+		entities[t.S] = struct{}{}
+		if st.dict.Decode(t.O).IsLiteral() {
+			literals[t.O] = struct{}{}
+		} else {
+			entities[t.O] = struct{}{}
+		}
+	}
+	s.NumEntities = len(entities)
+	s.NumLiterals = len(literals)
+	return s
+}
+
+// AvgOutDegree returns the average number of objects per subject for
+// predicate p: count(p) / distinctSubjects(p). Returns 1 when p is unseen,
+// the conservative floor the paper's cardinality estimator uses.
+func (s *Stats) AvgOutDegree(p ID) float64 {
+	c, subs := s.PredCount[p], s.PredSubjects[p]
+	if subs == 0 {
+		return 1
+	}
+	return float64(c) / float64(subs)
+}
+
+// AvgInDegree returns the average number of subjects per object for
+// predicate p: count(p) / distinctObjects(p). Returns 1 when p is unseen.
+func (s *Stats) AvgInDegree(p ID) float64 {
+	c, objs := s.PredCount[p], s.PredObjects[p]
+	if objs == 0 {
+		return 1
+	}
+	return float64(c) / float64(objs)
+}

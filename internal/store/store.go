@@ -1,0 +1,196 @@
+package store
+
+import (
+	"io"
+
+	"sparqluo/internal/rdf"
+)
+
+// EncTriple is a dictionary-encoded triple.
+type EncTriple struct {
+	S, P, O ID
+}
+
+// Store is an in-memory, dictionary-encoded triple store with permutation
+// indexes covering every triple-pattern access path:
+//
+//	(s p ?) (s ? ?) (s ? o) (s p o) → spo
+//	(? p o)                         → pos
+//	(? p ?)                         → pso
+//	(? ? o)                         → ops
+//	(? ? ?)                         → triples
+//
+// A Store is immutable after Freeze and safe for concurrent readers.
+type Store struct {
+	dict    *Dict
+	triples []EncTriple
+
+	spo map[ID]map[ID][]ID // subject → predicate → objects
+	pos map[ID]map[ID][]ID // predicate → object → subjects
+	pso map[ID]map[ID][]ID // predicate → subject → objects
+	ops map[ID]map[ID][]ID // object → predicate → subjects
+
+	// psoOrder/posOrder record, per predicate, subjects and objects in
+	// first-seen order, giving deterministic scans (Go map iteration is
+	// randomized; sampling-based cardinality estimation and therefore
+	// plan selection must be reproducible).
+	psoOrder map[ID][]ID
+	posOrder map[ID][]ID
+
+	stats  *Stats
+	frozen bool
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict:     NewDict(),
+		spo:      make(map[ID]map[ID][]ID),
+		pos:      make(map[ID]map[ID][]ID),
+		pso:      make(map[ID]map[ID][]ID),
+		ops:      make(map[ID]map[ID][]ID),
+		psoOrder: make(map[ID][]ID),
+		posOrder: make(map[ID][]ID),
+	}
+}
+
+// Dict exposes the store's term dictionary.
+func (st *Store) Dict() *Dict { return st.dict }
+
+// NumTriples returns the number of triples loaded (including duplicates,
+// which are stored once; RDF datasets are sets of triples).
+func (st *Store) NumTriples() int { return len(st.triples) }
+
+// Add inserts one triple. Duplicate triples are ignored (RDF set
+// semantics). Add panics if called after Freeze.
+func (st *Store) Add(t rdf.Triple) {
+	if st.frozen {
+		panic("store: Add after Freeze")
+	}
+	s := st.dict.Encode(t.S)
+	p := st.dict.Encode(t.P)
+	o := st.dict.Encode(t.O)
+	// Duplicate check via spo.
+	if objs, ok := st.spo[s][p]; ok {
+		for _, x := range objs {
+			if x == o {
+				return
+			}
+		}
+	}
+	st.triples = append(st.triples, EncTriple{s, p, o})
+	addNested(st.spo, s, p, o)
+	if len(st.pos[p][o]) == 0 {
+		st.posOrder[p] = append(st.posOrder[p], o)
+	}
+	addNested(st.pos, p, o, s)
+	if len(st.pso[p][s]) == 0 {
+		st.psoOrder[p] = append(st.psoOrder[p], s)
+	}
+	addNested(st.pso, p, s, o)
+	addNested(st.ops, o, p, s)
+}
+
+// AddAll inserts every triple in ts.
+func (st *Store) AddAll(ts []rdf.Triple) {
+	for _, t := range ts {
+		st.Add(t)
+	}
+}
+
+// LoadNTriples reads an N-Triples document from r and inserts every triple.
+func (st *Store) LoadNTriples(r io.Reader) error {
+	d := rdf.NewDecoder(r)
+	for {
+		t, err := d.Decode()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		st.Add(t)
+	}
+}
+
+func addNested(m map[ID]map[ID][]ID, a, b, c ID) {
+	inner, ok := m[a]
+	if !ok {
+		inner = make(map[ID][]ID)
+		m[a] = inner
+	}
+	inner[b] = append(inner[b], c)
+}
+
+// Freeze computes statistics and marks the store read-only. Queries may be
+// run before Freeze, but cardinality estimation requires it. Freeze is
+// idempotent.
+func (st *Store) Freeze() {
+	if st.frozen {
+		return
+	}
+	st.frozen = true
+	st.stats = computeStats(st)
+}
+
+// Stats returns the statistics collected at Freeze time, or nil if the
+// store has not been frozen.
+func (st *Store) Stats() *Stats {
+	return st.stats
+}
+
+// Contains reports whether the fully ground triple (s,p,o) is present.
+func (st *Store) Contains(s, p, o ID) bool {
+	for _, x := range st.spo[s][p] {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectsSP returns the objects of all triples with the given subject and
+// predicate. The returned slice is owned by the store; do not modify it.
+func (st *Store) ObjectsSP(s, p ID) []ID { return st.spo[s][p] }
+
+// SubjectsPO returns the subjects of all triples with the given predicate
+// and object.
+func (st *Store) SubjectsPO(p, o ID) []ID { return st.pos[p][o] }
+
+// PredObjBySubject returns the predicate→objects adjacency of a subject.
+func (st *Store) PredObjBySubject(s ID) map[ID][]ID { return st.spo[s] }
+
+// PredSubjByObject returns the predicate→subjects adjacency of an object.
+func (st *Store) PredSubjByObject(o ID) map[ID][]ID { return st.ops[o] }
+
+// SubjObjByPredicate returns the subject→objects adjacency of a predicate.
+func (st *Store) SubjObjByPredicate(p ID) map[ID][]ID { return st.pso[p] }
+
+// ObjSubjByPredicate returns the object→subjects adjacency of a predicate.
+func (st *Store) ObjSubjByPredicate(p ID) map[ID][]ID { return st.pos[p] }
+
+// SubjectsOfPredicate returns the distinct subjects of a predicate in
+// first-seen order (deterministic iteration).
+func (st *Store) SubjectsOfPredicate(p ID) []ID { return st.psoOrder[p] }
+
+// ObjectsOfPredicate returns the distinct objects of a predicate in
+// first-seen order (deterministic iteration).
+func (st *Store) ObjectsOfPredicate(p ID) []ID { return st.posOrder[p] }
+
+// Triples returns the raw encoded triple slice (read-only).
+func (st *Store) Triples() []EncTriple { return st.triples }
+
+// CountP returns the number of triples with predicate p.
+func (st *Store) CountP(p ID) int {
+	n := 0
+	for _, objs := range st.pso[p] {
+		n += len(objs)
+	}
+	return n
+}
+
+// CountSP returns the number of triples with subject s and predicate p.
+func (st *Store) CountSP(s, p ID) int { return len(st.spo[s][p]) }
+
+// CountPO returns the number of triples with predicate p and object o.
+func (st *Store) CountPO(p, o ID) int { return len(st.pos[p][o]) }

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sparqluo/internal/rdf"
+)
+
+func tri(s, p, o string) rdf.Triple {
+	mk := func(x string) rdf.Term {
+		if strings.HasPrefix(x, "\"") {
+			return rdf.NewLiteral(strings.Trim(x, "\""))
+		}
+		return rdf.NewIRI(x)
+	}
+	return rdf.Triple{S: mk(s), P: mk(p), O: mk(o)}
+}
+
+func TestAddAndScan(t *testing.T) {
+	st := New()
+	st.Add(tri("s1", "p1", "o1"))
+	st.Add(tri("s1", "p1", "o2"))
+	st.Add(tri("s2", "p1", "o1"))
+	st.Add(tri("s1", "p2", "o1"))
+	st.Freeze()
+
+	d := st.Dict()
+	s1, _ := d.Lookup(rdf.NewIRI("s1"))
+	p1, _ := d.Lookup(rdf.NewIRI("p1"))
+	o1, _ := d.Lookup(rdf.NewIRI("o1"))
+
+	if got := len(st.ObjectsSP(s1, p1)); got != 2 {
+		t.Errorf("ObjectsSP = %d, want 2", got)
+	}
+	if got := len(st.SubjectsPO(p1, o1)); got != 2 {
+		t.Errorf("SubjectsPO = %d, want 2", got)
+	}
+	if !st.Contains(s1, p1, o1) {
+		t.Error("Contains should be true")
+	}
+	if st.NumTriples() != 4 {
+		t.Errorf("NumTriples = %d, want 4", st.NumTriples())
+	}
+	if got := st.CountP(p1); got != 3 {
+		t.Errorf("CountP = %d, want 3", got)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	st := New()
+	st.Add(tri("s", "p", "o"))
+	st.Add(tri("s", "p", "o"))
+	if st.NumTriples() != 1 {
+		t.Errorf("duplicate triple stored: %d", st.NumTriples())
+	}
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	st := New()
+	st.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Error("Add after Freeze should panic")
+		}
+	}()
+	st.Add(tri("s", "p", "o"))
+}
+
+func TestDecodeInvalidPanics(t *testing.T) {
+	d := NewDict()
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode(None) should panic")
+		}
+	}()
+	d.Decode(None)
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://a"),
+		rdf.NewLiteral("x"),
+		rdf.NewLangLiteral("x", "en"),
+		rdf.NewTypedLiteral("x", "dt"),
+		rdf.NewBlank("b"),
+	}
+	ids := map[ID]bool{}
+	for _, tm := range terms {
+		id := d.Encode(tm)
+		if ids[id] {
+			t.Errorf("duplicate ID %d", id)
+		}
+		ids[id] = true
+		if id2 := d.Encode(tm); id2 != id {
+			t.Errorf("re-encode changed ID: %d → %d", id, id2)
+		}
+		if got := d.Decode(id); !got.Equal(tm) {
+			t.Errorf("decode(%d) = %v, want %v", id, got, tm)
+		}
+	}
+	if d.Len() != len(terms) {
+		t.Errorf("Len = %d, want %d", d.Len(), len(terms))
+	}
+	if _, ok := d.Lookup(rdf.NewIRI("http://missing")); ok {
+		t.Error("Lookup of missing term should report false")
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := New()
+	st.Add(tri("s1", "p1", "o1"))
+	st.Add(tri("s1", "p1", "o2"))
+	st.Add(tri("s2", "p1", "o2"))
+	st.Add(tri("s1", "p2", `"lit"`))
+	st.Freeze()
+	s := st.Stats()
+	if s.NumTriples != 4 {
+		t.Errorf("NumTriples = %d", s.NumTriples)
+	}
+	if s.NumPreds != 2 {
+		t.Errorf("NumPreds = %d", s.NumPreds)
+	}
+	if s.NumLiterals != 1 {
+		t.Errorf("NumLiterals = %d", s.NumLiterals)
+	}
+	// entities: s1, s2, o1, o2 (p1/p2 are predicates, lit is a literal)
+	if s.NumEntities != 4 {
+		t.Errorf("NumEntities = %d, want 4", s.NumEntities)
+	}
+	d := st.Dict()
+	p1, _ := d.Lookup(rdf.NewIRI("p1"))
+	if got := s.AvgOutDegree(p1); got != 1.5 {
+		t.Errorf("AvgOutDegree(p1) = %v, want 1.5 (3 triples / 2 subjects)", got)
+	}
+	if got := s.AvgInDegree(p1); got != 1.5 {
+		t.Errorf("AvgInDegree(p1) = %v, want 1.5 (3 triples / 2 objects)", got)
+	}
+	if got := s.AvgOutDegree(ID(9999)); got != 1 {
+		t.Errorf("AvgOutDegree(unknown) = %v, want 1", got)
+	}
+}
+
+func TestLoadNTriples(t *testing.T) {
+	st := New()
+	err := st.LoadNTriples(strings.NewReader(`
+<http://e/s> <http://e/p> "v" .
+<http://e/s> <http://e/p> <http://e/o> .
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTriples() != 2 {
+		t.Errorf("NumTriples = %d", st.NumTriples())
+	}
+	if err := st.LoadNTriples(strings.NewReader("garbage")); err == nil {
+		t.Error("want error for bad input")
+	}
+}
+
+func TestOrderedScansDeterministic(t *testing.T) {
+	build := func() *Store {
+		st := New()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 500; i++ {
+			st.Add(tri(
+				"s"+itoa(rng.Intn(40)),
+				"p"+itoa(rng.Intn(3)),
+				"o"+itoa(rng.Intn(40))))
+		}
+		st.Freeze()
+		return st
+	}
+	a, b := build(), build()
+	d := a.Dict()
+	p0, _ := d.Lookup(rdf.NewIRI("p0"))
+	sa := a.SubjectsOfPredicate(p0)
+	sb := b.SubjectsOfPredicate(p0)
+	if len(sa) != len(sb) {
+		t.Fatalf("lengths differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + itoa(n%10)
+}
+
+// TestQuickScansMatchBruteForce: every index access path returns exactly
+// the triples a brute-force filter of the triple list returns.
+func TestQuickScansMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := New()
+		type raw struct{ s, p, o int }
+		var raws []raw
+		for i := 0; i < 60; i++ {
+			r := raw{rng.Intn(8), rng.Intn(3), rng.Intn(8)}
+			raws = append(raws, r)
+			st.Add(tri("s"+itoa(r.s), "p"+itoa(r.p), "o"+itoa(r.o)))
+		}
+		st.Freeze()
+		d := st.Dict()
+		lookup := func(x string) ID {
+			id, _ := d.Lookup(rdf.NewIRI(x))
+			return id
+		}
+		// Check (s,p,?) and (?,p,o) for random probes.
+		for k := 0; k < 10; k++ {
+			s, p, o := rng.Intn(8), rng.Intn(3), rng.Intn(8)
+			sid, pid, oid := lookup("s"+itoa(s)), lookup("p"+itoa(p)), lookup("o"+itoa(o))
+			wantSP, wantPO, wantSPO := 0, 0, false
+			seen := map[raw]bool{}
+			for _, r := range raws {
+				if seen[r] {
+					continue // store dedupes
+				}
+				seen[r] = true
+				if r.s == s && r.p == p {
+					wantSP++
+				}
+				if r.p == p && r.o == o {
+					wantPO++
+				}
+				if r.s == s && r.p == p && r.o == o {
+					wantSPO = true
+				}
+			}
+			if len(st.ObjectsSP(sid, pid)) != wantSP {
+				return false
+			}
+			if len(st.SubjectsPO(pid, oid)) != wantPO {
+				return false
+			}
+			if st.Contains(sid, pid, oid) != wantSPO {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

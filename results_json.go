@@ -1,0 +1,62 @@
+package sparqluo
+
+import (
+	"encoding/json"
+	"io"
+
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/store"
+)
+
+// jsonResults mirrors the W3C "SPARQL 1.1 Query Results JSON Format":
+// https://www.w3.org/TR/sparql11-results-json/
+type jsonResults struct {
+	Head    jsonHead        `json:"head"`
+	Results jsonResultsBody `json:"results"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars"`
+}
+
+type jsonResultsBody struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"` // "uri", "literal", "bnode"
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+func termToJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+// WriteJSON serializes the results in the W3C SPARQL 1.1 Query Results
+// JSON Format.
+func (r *Results) WriteJSON(w io.Writer) error {
+	doc := jsonResults{
+		Head:    jsonHead{Vars: append([]string{}, r.names...)},
+		Results: jsonResultsBody{Bindings: make([]map[string]jsonTerm, 0, r.bag.Len())},
+	}
+	for _, row := range r.bag.Rows {
+		binding := map[string]jsonTerm{}
+		for i, name := range r.vars.Names() {
+			if row[i] != store.None {
+				binding[name] = termToJSON(r.dict.Decode(row[i]))
+			}
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, binding)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,234 @@
+// Package sparqluo is an RDF triple store and SPARQL-UO query engine
+// implementing "Efficient Execution of SPARQL Queries with OPTIONAL and
+// UNION Expressions" (Zou, Pang, Özsu, Chen): BE-tree query plans,
+// cost-driven merge/inject transformations, and query-time candidate
+// pruning on top of two BGP execution engines (a gStore-style
+// worst-case-optimal join engine and a Jena-style binary hash-join
+// engine).
+//
+// Basic usage:
+//
+//	db := sparqluo.Open()
+//	if err := db.Load(file); err != nil { ... }
+//	db.Freeze()
+//	res, err := db.Query(`SELECT ?x WHERE { ... }`)
+//	for _, sol := range res.Solutions() {
+//		fmt.Println(sol["x"])
+//	}
+//
+// The Strategy option selects between the paper's four approaches (Base,
+// TT, CP, Full — Full is the default); the Engine option selects the
+// underlying BGP engine.
+package sparqluo
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/core"
+	"sparqluo/internal/exec"
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/sparql"
+	"sparqluo/internal/store"
+)
+
+// Term is an RDF term (IRI, literal or blank node).
+type Term = rdf.Term
+
+// Triple is a single RDF statement.
+type Triple = rdf.Triple
+
+// Re-exported term constructors.
+var (
+	NewIRI          = rdf.NewIRI
+	NewLiteral      = rdf.NewLiteral
+	NewLangLiteral  = rdf.NewLangLiteral
+	NewTypedLiteral = rdf.NewTypedLiteral
+	NewBlank        = rdf.NewBlank
+)
+
+// Strategy selects the query optimization approach of §7.1.
+type Strategy = core.Strategy
+
+// The four strategies evaluated in the paper.
+const (
+	Base = core.Base // Algorithm 1 on the untransformed BE-tree
+	TT   = core.TT   // cost-driven tree transformation
+	CP   = core.CP   // candidate pruning with a fixed threshold
+	Full = core.Full // transformation + adaptive candidate pruning
+)
+
+// Engine selects the underlying BGP execution engine.
+type Engine int
+
+const (
+	// WCO is the gStore-style worst-case-optimal join engine.
+	WCO Engine = iota
+	// BinaryJoin is the Jena-style binary hash-join engine.
+	BinaryJoin
+)
+
+func (e Engine) impl() exec.Engine {
+	if e == BinaryJoin {
+		return exec.BinaryJoinEngine{}
+	}
+	return exec.WCOEngine{}
+}
+
+// DB is an in-memory RDF database. Load data with Load/Add, call Freeze
+// once, then issue queries concurrently.
+type DB struct {
+	st *store.Store
+}
+
+// Open returns an empty database.
+func Open() *DB { return &DB{st: store.New()} }
+
+// Load reads an N-Triples document (with optional Turtle-style @prefix
+// directives) and adds every triple.
+func (db *DB) Load(r io.Reader) error { return db.st.LoadNTriples(r) }
+
+// Add inserts one triple. Duplicates are ignored (RDF set semantics).
+func (db *DB) Add(t Triple) { db.st.Add(t) }
+
+// AddAll inserts a batch of triples.
+func (db *DB) AddAll(ts []Triple) { db.st.AddAll(ts) }
+
+// Freeze computes statistics and makes the database read-only. Queries
+// run before Freeze cannot use cost-based optimization; call it after
+// loading.
+func (db *DB) Freeze() { db.st.Freeze() }
+
+// NumTriples returns the number of distinct triples stored.
+func (db *DB) NumTriples() int { return db.st.NumTriples() }
+
+// Store exposes the underlying store for advanced integrations (the
+// experiment harness uses it); most callers never need it.
+func (db *DB) Store() *store.Store { return db.st }
+
+// Option configures a Query call.
+type Option func(*queryConfig)
+
+type queryConfig struct {
+	strategy Strategy
+	engine   Engine
+}
+
+// WithStrategy selects the optimization strategy (default Full).
+func WithStrategy(s Strategy) Option {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithEngine selects the BGP engine (default WCO).
+func WithEngine(e Engine) Option {
+	return func(c *queryConfig) { c.engine = e }
+}
+
+// Solution is one query solution: variable name → bound term. Unbound
+// variables (possible under OPTIONAL) are absent from the map.
+type Solution map[string]Term
+
+// Results holds the outcome of a query.
+type Results struct {
+	vars  *algebra.VarSet
+	bag   *algebra.Bag
+	dict  *store.Dict
+	res   *core.Result
+	names []string
+}
+
+// Len returns the number of solutions.
+func (r *Results) Len() int { return r.bag.Len() }
+
+// Vars returns the variable names of the result rows.
+func (r *Results) Vars() []string { return r.names }
+
+// Solutions materializes all solutions as name→term maps.
+func (r *Results) Solutions() []Solution {
+	out := make([]Solution, 0, r.bag.Len())
+	for _, row := range r.bag.Rows {
+		sol := Solution{}
+		for i, name := range r.vars.Names() {
+			if row[i] != store.None {
+				sol[name] = r.dict.Decode(row[i])
+			}
+		}
+		out = append(out, sol)
+	}
+	return out
+}
+
+// Plan returns a rendering of the BE-tree that was executed (after any
+// transformations).
+func (r *Results) Plan() string { return r.res.Tree.String() }
+
+// Transformations returns the number of merge/inject transformations the
+// optimizer applied.
+func (r *Results) Transformations() int { return r.res.Transformations }
+
+// ExecTime returns the time spent executing the plan.
+func (r *Results) ExecTime() time.Duration { return r.res.ExecTime }
+
+// TransformTime returns the time spent in plan transformation.
+func (r *Results) TransformTime() time.Duration { return r.res.TransformTime }
+
+// JoinSpace returns the paper's join-space metric for this execution, an
+// indicator of the largest intermediate result materialized.
+func (r *Results) JoinSpace() float64 {
+	return core.JoinSpace(r.res.Tree, r.res.Stats)
+}
+
+// Query parses and executes a SPARQL-UO SELECT query.
+func (db *DB) Query(text string, opts ...Option) (*Results, error) {
+	cfg := queryConfig{strategy: Full, engine: WCO}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if db.st.Stats() == nil {
+		return nil, fmt.Errorf("sparqluo: DB must be frozen before querying (call Freeze)")
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(q, db.st, cfg.engine.impl(), cfg.strategy)
+	if err != nil {
+		return nil, err
+	}
+	names := res.Vars.Names()
+	if len(q.Select) > 0 {
+		names = q.Select
+	}
+	return &Results{
+		vars:  res.Vars,
+		bag:   res.Bag,
+		dict:  db.st.Dict(),
+		res:   res,
+		names: names,
+	}, nil
+}
+
+// Explain parses the query and returns the BE-tree plan before and after
+// cost-driven transformation, without executing it.
+func (db *DB) Explain(text string, opts ...Option) (before, after string, err error) {
+	cfg := queryConfig{strategy: Full, engine: WCO}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return "", "", err
+	}
+	tree, err := core.Build(q, db.st)
+	if err != nil {
+		return "", "", err
+	}
+	before = tree.String()
+	work := tree.Clone()
+	tr := core.NewTransformer(db.st, cfg.engine.impl())
+	tr.SkipWhenEquivalentToCP = cfg.strategy == Full
+	tr.Transform(work)
+	return before, work.String(), nil
+}

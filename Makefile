@@ -1,0 +1,29 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race bench fuzz clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Short fuzz smoke for every fuzz target; CI runs this with FUZZTIME=10s.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sparql/
+	$(GO) test -run '^$$' -fuzz FuzzNTriples -fuzztime $(FUZZTIME) ./internal/rdf/
+
+clean:
+	$(GO) clean -testcache

@@ -1,12 +1,16 @@
 // Command sparql-server serves an N-Triples dataset as a minimal SPARQL
 // endpoint:
 //
-//	sparql-server -data graph.nt -addr :8085
+//	sparql-server -data graph.nt -addr :8085 -timeout 30s -max-inflight 64
 //
 // then:
 //
 //	curl 'http://localhost:8085/sparql?query=SELECT+*+WHERE+{?s+?p+?o}+LIMIT+5'
 //	curl 'http://localhost:8085/stats'
+//
+// -timeout caps each query's wall-clock time (504 on expiry), -max-inflight
+// bounds concurrently evaluating queries (503 when saturated), and
+// -parallelism sizes each query's evaluation worker pool (0 = GOMAXPROCS).
 package main
 
 import (
@@ -14,14 +18,18 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"sparqluo"
 )
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "N-Triples data file (required)")
-		addr     = flag.String("addr", ":8085", "listen address")
+		dataPath    = flag.String("data", "", "N-Triples data file (required)")
+		addr        = flag.String("addr", ":8085", "listen address")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
+		maxInFlight = flag.Int("max-inflight", 64, "max concurrently evaluating queries (0 = unlimited)")
+		parallelism = flag.Int("parallelism", 0, "per-query evaluation worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -39,9 +47,15 @@ func main() {
 	}
 	f.Close()
 	db.Freeze()
-	fmt.Printf("sparql-server: loaded %d triples, listening on %s\n", db.NumTriples(), *addr)
+	fmt.Printf("sparql-server: loaded %d triples, listening on %s (timeout=%v max-inflight=%d)\n",
+		db.NumTriples(), *addr, *timeout, *maxInFlight)
 
-	if err := http.ListenAndServe(*addr, sparqluo.NewHandler(db)); err != nil {
+	handler := sparqluo.NewHandler(db,
+		sparqluo.WithQueryTimeout(*timeout),
+		sparqluo.WithMaxInFlight(*maxInFlight),
+		sparqluo.WithHandlerParallelism(*parallelism),
+	)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
 }

@@ -1,8 +1,13 @@
 package sparqluo_test
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sparqluo"
 	"sparqluo/internal/lubm"
@@ -64,4 +69,155 @@ type errMismatch struct{ got, want int }
 
 func (e errMismatch) Error() string {
 	return "concurrent query result mismatch"
+}
+
+// lubmTestDB builds a shared frozen LUBM database for the parallel tests.
+func lubmTestDB(t testing.TB, universities int) *sparqluo.DB {
+	t.Helper()
+	db := sparqluo.Open()
+	db.AddAll(lubm.Generate(lubm.DefaultConfig(universities)))
+	db.Freeze()
+	return db
+}
+
+// parallelTestQuery mixes UNION branches, nested groups and stacked
+// OPTIONALs so that both fan-out sites of the evaluator are exercised.
+const parallelTestQuery = `
+	PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+	SELECT * WHERE {
+		?x ub:worksFor ?d .
+		{ ?x ub:headOf ?d } UNION { ?p ub:publicationAuthor ?x } UNION { ?x ub:teacherOf ?c }
+		OPTIONAL { ?x ub:emailAddress ?e }
+		OPTIONAL { ?x ub:telephone ?tel OPTIONAL { ?x ub:researchInterest ?ri } }
+	}`
+
+// TestParallelSequentialEquivalence locks down the tentpole guarantee:
+// for every strategy × engine combination, parallel evaluation returns a
+// byte-identical W3C JSON document (same solutions, same order) and the
+// same join-space instrumentation as the sequential run.
+func TestParallelSequentialEquivalence(t *testing.T) {
+	db := lubmTestDB(t, 2)
+	for _, strat := range []sparqluo.Strategy{sparqluo.Base, sparqluo.TT, sparqluo.CP, sparqluo.Full} {
+		for _, eng := range []sparqluo.Engine{sparqluo.WCO, sparqluo.BinaryJoin} {
+			name := fmt.Sprintf("strat=%v/engine=%d", strat, eng)
+			t.Run(name, func(t *testing.T) {
+				seq, err := db.Query(parallelTestQuery,
+					sparqluo.WithStrategy(strat), sparqluo.WithEngine(eng), sparqluo.WithParallelism(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := db.Query(parallelTestQuery,
+					sparqluo.WithStrategy(strat), sparqluo.WithEngine(eng), sparqluo.WithParallelism(8))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var seqJSON, parJSON strings.Builder
+				if err := seq.WriteJSON(&seqJSON); err != nil {
+					t.Fatal(err)
+				}
+				if err := par.WriteJSON(&parJSON); err != nil {
+					t.Fatal(err)
+				}
+				if seqJSON.String() != parJSON.String() {
+					t.Errorf("parallel JSON differs from sequential (seq %d rows, par %d rows)",
+						seq.Len(), par.Len())
+				}
+				if s, p := seq.JoinSpace(), par.JoinSpace(); s != p {
+					t.Errorf("join space diverged: sequential %v, parallel %v", s, p)
+				}
+			})
+		}
+	}
+}
+
+// TestQueryContextCancellation checks both cancellation paths: a context
+// that is already expired fails before evaluation starts, and a deadline
+// expiring mid-join aborts the engines promptly instead of letting a
+// cross-product run to completion.
+func TestQueryContextCancellation(t *testing.T) {
+	db := lubmTestDB(t, 1)
+	// This cross product is far too large to ever materialize; only
+	// cancellation can bring the call back.
+	const heavy = `SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }`
+
+	t.Run("pre-expired", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := db.QueryContext(ctx, parallelTestQuery)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+
+	for _, eng := range []sparqluo.Engine{sparqluo.WCO, sparqluo.BinaryJoin} {
+		eng := eng
+		t.Run(fmt.Sprintf("mid-join/engine=%d", eng), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := db.QueryContext(ctx, heavy, sparqluo.WithEngine(eng))
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			// Generous bound: the engines poll every few thousand rows, so
+			// even loaded CI machines return within a couple of seconds.
+			if elapsed > 5*time.Second {
+				t.Errorf("cancellation took %v, want prompt return", elapsed)
+			}
+		})
+	}
+}
+
+// nestedUnionQuery builds a query whose BE-tree fans out at every level:
+// depth levels of two-branch UNIONs with an OPTIONAL riding on each
+// group, yielding 2^depth leaves competing for pool tokens.
+func nestedUnionQuery(depth int) string {
+	var build func(d int) string
+	build = func(d int) string {
+		if d == 0 {
+			return `{ ?x ub:worksFor ?d }`
+		}
+		inner := build(d - 1)
+		return fmt.Sprintf(`{ %s UNION %s OPTIONAL { ?x ub:emailAddress ?e } }`, inner, inner)
+	}
+	return `PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		SELECT * WHERE ` + build(depth)
+}
+
+// TestWorkerPoolSaturation floods a deliberately tiny worker pool with a
+// BE-tree whose fan-out greatly exceeds it, from many goroutines at
+// once. The pool's non-blocking token acquisition must keep every query
+// making progress: a deadlock here trips the watchdog. Run with -race.
+func TestWorkerPoolSaturation(t *testing.T) {
+	db := lubmTestDB(t, 1)
+	query := nestedUnionQuery(4) // 16 leaf groups + optional at every level
+
+	ref, err := db.Query(query, sparqluo.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Len()
+
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			res, err := db.Query(query, sparqluo.WithParallelism(2))
+			if err == nil && res.Len() != want {
+				err = errMismatch{got: res.Len(), want: want}
+			}
+			done <- err
+		}()
+	}
+	watchdog := time.After(120 * time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-watchdog:
+			t.Fatal("worker pool deadlocked: queries did not complete")
+		}
+	}
 }

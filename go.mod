@@ -1,0 +1,3 @@
+module sparqluo
+
+go 1.24

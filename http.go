@@ -1,9 +1,47 @@
 package sparqluo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
+
+// HandlerOption configures the HTTP endpoint returned by NewHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	timeout     time.Duration
+	maxInFlight int
+	parallelism int
+}
+
+// WithQueryTimeout caps the wall-clock time of each /sparql request
+// (default: no limit). Requests that exceed it are aborted through the
+// evaluator's context and answered with 504 Gateway Timeout. A request
+// may lower — never raise — its own limit with a "timeout" form
+// parameter holding a Go duration (e.g. timeout=250ms).
+func WithQueryTimeout(d time.Duration) HandlerOption {
+	return func(c *handlerConfig) { c.timeout = d }
+}
+
+// WithMaxInFlight bounds the number of /sparql requests evaluating
+// concurrently (default: no limit). Requests beyond the bound are
+// rejected immediately with 503 Service Unavailable and a Retry-After
+// header, keeping tail latency flat under overload instead of queueing
+// unboundedly.
+func WithMaxInFlight(n int) HandlerOption {
+	return func(c *handlerConfig) { c.maxInFlight = n }
+}
+
+// WithHandlerParallelism sets the per-query evaluation worker-pool size
+// used for every request served by the handler (default: GOMAXPROCS;
+// see WithParallelism). Deployments that cap in-flight queries high can
+// set this low so concurrent requests don't oversubscribe the CPUs.
+func WithHandlerParallelism(n int) HandlerOption {
+	return func(c *handlerConfig) { c.parallelism = n }
+}
 
 // NewHandler returns an http.Handler exposing the database as a minimal
 // SPARQL endpoint:
@@ -13,8 +51,19 @@ import (
 //
 // Query responses use the W3C SPARQL 1.1 Query Results JSON Format. The
 // optional "strategy" parameter selects base|tt|cp|full (default full),
-// "engine" selects wco|binary (default wco).
-func NewHandler(db *DB) http.Handler {
+// "engine" selects wco|binary (default wco), and "timeout" lowers the
+// per-request deadline (a Go duration, capped by WithQueryTimeout).
+// Operational limits are configured with WithQueryTimeout,
+// WithMaxInFlight and WithHandlerParallelism.
+func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
+	cfg := handlerConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var inflight chan struct{}
+	if cfg.maxInFlight > 0 {
+		inflight = make(chan struct{}, cfg.maxInFlight)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
 		query := r.FormValue("query")
@@ -27,9 +76,39 @@ func NewHandler(db *DB) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		res, err := db.Query(query, opts...)
+		opts = append(opts, WithParallelism(cfg.parallelism))
+		timeout, err := timeoutFromRequest(r, cfg.timeout)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if inflight != nil {
+			select {
+			case inflight <- struct{}{}:
+				defer func() { <-inflight }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "server overloaded: too many in-flight queries", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		res, err := db.QueryContext(ctx, query, opts...)
+		if err != nil {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				http.Error(w, "query timed out", http.StatusGatewayTimeout)
+			case errors.Is(err, context.Canceled):
+				// Client went away; nobody is listening for the status.
+				http.Error(w, "query cancelled", http.StatusServiceUnavailable)
+			default:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
@@ -47,6 +126,24 @@ func NewHandler(db *DB) http.Handler {
 		}
 	})
 	return mux
+}
+
+// timeoutFromRequest resolves the effective deadline for one request:
+// the server-configured maximum, optionally lowered by the request's
+// "timeout" form parameter.
+func timeoutFromRequest(r *http.Request, max time.Duration) (time.Duration, error) {
+	raw := r.FormValue("timeout")
+	if raw == "" {
+		return max, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("invalid timeout %q", raw)
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d, nil
 }
 
 func optionsFromRequest(r *http.Request) ([]Option, error) {

@@ -7,8 +7,10 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 
 	"sparqluo"
+	"sparqluo/internal/lubm"
 )
 
 func TestHTTPSparqlEndpoint(t *testing.T) {
@@ -109,6 +111,132 @@ func TestHTTPStrategyParameter(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("strategy %s: status %d", strat, resp.StatusCode)
 		}
+	}
+}
+
+// heavyQuery is a triple cross product no realistic machine can
+// materialize on a LUBM store; only cancellation brings it back.
+const heavyQuery = `SELECT * WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }`
+
+// TestHTTPQueryTimeout checks the server-side deadline: a query that
+// cannot finish within WithQueryTimeout is aborted through its context
+// and answered with 504.
+func TestHTTPQueryTimeout(t *testing.T) {
+	db := sparqluo.Open()
+	db.AddAll(lubm.Generate(lubm.DefaultConfig(1)))
+	db.Freeze()
+	srv := httptest.NewServer(sparqluo.NewHandler(db,
+		sparqluo.WithQueryTimeout(50*time.Millisecond)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(heavyQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestHTTPTimeoutParameter checks that a request may lower its own
+// deadline via the timeout form parameter, and that malformed values
+// are rejected.
+func TestHTTPTimeoutParameter(t *testing.T) {
+	db := sparqluo.Open()
+	db.AddAll(lubm.Generate(lubm.DefaultConfig(1)))
+	db.Freeze()
+	srv := httptest.NewServer(sparqluo.NewHandler(db,
+		sparqluo.WithQueryTimeout(time.Hour))) // server cap far away
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/sparql?timeout=50ms&query=" + url.QueryEscape(heavyQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("timeout=50ms: status = %d, want 504", resp.StatusCode)
+	}
+
+	for _, bad := range []string{"banana", "-3s", "0"} {
+		resp, err := http.Get(srv.URL + "/sparql?timeout=" + bad + "&query=" + url.QueryEscape(heavyQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("timeout=%s: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPInFlightLimiter checks the overload valve: with one slot and
+// a long-running query holding it, concurrent requests are turned away
+// with 503 instead of queueing.
+func TestHTTPInFlightLimiter(t *testing.T) {
+	db := sparqluo.Open()
+	db.AddAll(lubm.Generate(lubm.DefaultConfig(1)))
+	db.Freeze()
+	srv := httptest.NewServer(sparqluo.NewHandler(db,
+		sparqluo.WithMaxInFlight(1),
+		sparqluo.WithQueryTimeout(300*time.Millisecond)))
+	defer srv.Close()
+
+	heavyDone := make(chan int, 1)
+	go func() {
+		// The probes below race for the same single slot; retry until the
+		// heavy request actually gets in rather than reporting their 503.
+		status := -1
+		for attempt := 0; attempt < 100; attempt++ {
+			resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(heavyQuery))
+			if err != nil {
+				break
+			}
+			resp.Body.Close()
+			status = resp.StatusCode
+			if status != http.StatusServiceUnavailable {
+				break
+			}
+		}
+		heavyDone <- status
+	}()
+
+	// While the heavy query occupies the only slot (it runs for 300ms),
+	// a trivial query must be rejected with 503. Poll: the first probes
+	// may race ahead of the heavy request entering the handler.
+	small := url.QueryEscape(`SELECT * WHERE { ?s ?p ?o } LIMIT 1`)
+	saw503 := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && !saw503 {
+		resp, err := http.Get(srv.URL + "/sparql?query=" + small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("503 without Retry-After header")
+			}
+			saw503 = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !saw503 {
+		t.Error("never observed 503 while the slot was held")
+	}
+	if status := <-heavyDone; status != http.StatusGatewayTimeout {
+		t.Errorf("heavy query status = %d, want 504", status)
+	}
+
+	// With the slot free again, queries pass.
+	resp, err := http.Get(srv.URL + "/sparql?query=" + small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("after release: status = %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -6,7 +6,35 @@ import "sparqluo/internal/store"
 // semantics. It hash-partitions the smaller operand on the variables that
 // are certainly bound on both sides and verifies full compatibility on the
 // remaining possibly-shared positions.
-func Join(a, b *Bag) *Bag {
+func Join(a, b *Bag) *Bag { return JoinCancel(a, b, nil) }
+
+// joinStopMask batches cancellation probes in the cancellable joins:
+// stop is polled once per (joinStopMask+1) inner-loop iterations, keeping
+// the hot path to a counter AND.
+const joinStopMask = 2047
+
+// batchStop wraps a cancellation probe so it is only consulted every
+// (joinStopMask+1) calls. A nil stop gets a constant-false closure,
+// keeping the non-cancellable Join/LeftJoin hot loops free of the
+// counter bookkeeping.
+func batchStop(stop func() bool) func() bool {
+	if stop == nil {
+		return never
+	}
+	steps := 0
+	return func() bool {
+		steps++
+		return steps&joinStopMask == 0 && stop()
+	}
+}
+
+func never() bool { return false }
+
+// JoinCancel is Join with a cancellation probe. stop, when non-nil, is
+// polled periodically; once it returns true the join aborts and the bag
+// built so far is returned. Callers own the decision to discard the
+// truncated result.
+func JoinCancel(a, b *Bag, stop func() bool) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Or(b.Cert)
 	out.Maybe = a.Maybe.Or(b.Maybe)
@@ -21,6 +49,7 @@ func Join(a, b *Bag) *Bag {
 	}
 	keys := build.Cert.And(probe.Cert).Indices(a.Width)
 	verify := verifyPositions(a, b, keys)
+	stopped := batchStop(stop)
 
 	if len(keys) == 0 {
 		// No certain join key: nested loop with compatibility check.
@@ -28,6 +57,9 @@ func Join(a, b *Bag) *Bag {
 			for _, rb := range b.Rows {
 				if Compatible(ra, rb, verify) {
 					out.Append(MergeRows(ra, rb))
+				}
+				if stopped() {
+					return out
 				}
 			}
 		}
@@ -45,6 +77,15 @@ func Join(a, b *Bag) *Bag {
 					out.Append(MergeRows(rb, rp))
 				}
 			}
+			// Poll per build-row visit: one skewed hash bucket can hold
+			// most of the build side, so per-probe-row polling would let
+			// a cancelled join run a bucket to completion.
+			if stopped() {
+				return out
+			}
+		}
+		if stopped() {
+			return out
 		}
 	}
 	return out
@@ -103,7 +144,12 @@ func Diff(a, b *Bag) *Bag {
 // LeftJoin computes Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 \ Ω2): every left
 // mapping joined with each compatible right mapping, or passed through
 // unchanged when no right mapping is compatible.
-func LeftJoin(a, b *Bag) *Bag {
+func LeftJoin(a, b *Bag) *Bag { return LeftJoinCancel(a, b, nil) }
+
+// LeftJoinCancel is LeftJoin with the cancellation probe of JoinCancel:
+// a true return from stop aborts the fold, yielding a truncated bag for
+// the caller to discard.
+func LeftJoinCancel(a, b *Bag, stop func() bool) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Clone() // right side only certain on matched rows
 	out.Maybe = a.Maybe.Or(b.Maybe)
@@ -118,6 +164,7 @@ func LeftJoin(a, b *Bag) *Bag {
 	if len(keys) > 0 {
 		idx = buildHash(b, keys)
 	}
+	stopped := batchStop(stop)
 	for _, ra := range a.Rows {
 		candidates := b.Rows
 		if idx != nil {
@@ -129,9 +176,15 @@ func LeftJoin(a, b *Bag) *Bag {
 				matched = true
 				out.Append(MergeRows(ra, rb))
 			}
+			if stopped() {
+				return out
+			}
 		}
 		if !matched {
 			out.Append(ra)
+		}
+		if stopped() {
+			return out
 		}
 	}
 	return out

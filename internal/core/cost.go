@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sparqluo/internal/exec"
 	"sparqluo/internal/store"
 )
@@ -19,6 +21,17 @@ import (
 type costModel struct {
 	st     *store.Store
 	engine exec.Engine
+	// ctx bounds the sampling estimators; nil means non-cancellable.
+	// After cancellation estimates are garbage, which is fine: the whole
+	// plan is abandoned with the context's error.
+	ctx context.Context
+}
+
+func (cm *costModel) context() context.Context {
+	if cm.ctx != nil {
+		return cm.ctx
+	}
+	return context.Background()
 }
 
 // estCard returns the engine's estimated result size for a BGP node,
@@ -39,8 +52,9 @@ func (cm *costModel) ensure(b *BGPNode) {
 	if b.estValid {
 		return
 	}
-	b.estCard = cm.engine.EstimateCard(cm.st, b.Enc)
-	b.estCost = cm.engine.EstimateCost(cm.st, b.Enc)
+	ctx := cm.context()
+	b.estCard = cm.engine.EstimateCard(ctx, cm.st, b.Enc)
+	b.estCost = cm.engine.EstimateCost(ctx, cm.st, b.Enc)
 	b.estValid = true
 }
 

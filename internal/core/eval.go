@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"runtime"
+	"sync"
+
 	"sparqluo/internal/algebra"
 	"sparqluo/internal/exec"
 	"sparqluo/internal/store"
@@ -30,28 +34,88 @@ type EvalStats struct {
 	PrunedBGPs int
 }
 
+func newEvalStats() *EvalStats {
+	return &EvalStats{bgpSizes: make(map[*BGPNode]int)}
+}
+
+// merge folds a branch's instrumentation into s. Branch stats are merged
+// in sibling order by the evaluator, so BGPResults ends up in the exact
+// order a sequential depth-first evaluation would have produced.
+func (s *EvalStats) merge(o *EvalStats) {
+	s.BGPResults = append(s.BGPResults, o.BGPResults...)
+	s.PrunedBGPs += o.PrunedBGPs
+	for n, sz := range o.bgpSizes {
+		s.bgpSizes[n] = sz
+	}
+}
+
 // evaluator runs Algorithm 1 (optionally augmented with candidate
-// pruning) over a BE-tree.
+// pruning) over a BE-tree. Sibling UNION branches and OPTIONAL subtrees
+// are fanned out over a bounded worker pool when one is configured; each
+// concurrent branch writes into its own EvalStats, merged deterministically
+// by the spawning goroutine.
 type evaluator struct {
+	ctx    context.Context
 	st     *store.Store
 	engine exec.Engine
 	width  int
 	prune  Pruning
 	stats  *EvalStats
+	// sem holds the worker-pool tokens shared by the whole evaluation
+	// (capacity parallelism-1: the spawning goroutine is itself a
+	// worker). nil means fully sequential. Acquisition never blocks — a
+	// branch that cannot get a token runs inline on the current
+	// goroutine — so nested fan-out cannot deadlock the pool.
+	sem chan struct{}
+}
+
+// branch returns a child evaluator sharing the pool and context but
+// collecting into fresh stats, for one concurrently-evaluated subtree.
+func (ev *evaluator) branch() *evaluator {
+	sub := *ev
+	sub.stats = newEvalStats()
+	return &sub
 }
 
 // Evaluate runs the BGP-based evaluation scheme (Algorithm 1) on the tree
 // and returns the bag of solution mappings plus instrumentation. The
-// SELECT projection is applied (and DISTINCT if requested).
+// SELECT projection is applied (and DISTINCT if requested). Evaluation is
+// sequential and non-cancellable; it is the legacy entry point kept for
+// the experiment harness and tests, equivalent to EvaluateContext with a
+// background context and parallelism 1.
 func Evaluate(t *Tree, st *store.Store, engine exec.Engine, prune Pruning) (*algebra.Bag, *EvalStats) {
+	bag, stats, _ := EvaluateContext(context.Background(), t, st, engine, prune, 1)
+	return bag, stats
+}
+
+// EvaluateContext runs Algorithm 1 on the tree, evaluating sibling UNION
+// branches and OPTIONAL subtrees concurrently on a bounded worker pool of
+// the given size (<= 0 selects GOMAXPROCS; 1 is sequential). Per-branch
+// bags and stats are merged in sibling order, so the returned bag's row
+// order and the instrumentation are identical to a sequential run.
+//
+// The context is observed between node evaluations and inside the
+// engines' join loops: when it is cancelled or its deadline passes,
+// evaluation stops promptly and ctx.Err() is returned.
+func EvaluateContext(ctx context.Context, t *Tree, st *store.Store, engine exec.Engine, prune Pruning, parallelism int) (*algebra.Bag, *EvalStats, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	ev := &evaluator{
+		ctx:    ctx,
 		st:     st,
 		engine: engine,
 		width:  t.Vars.Len(),
 		prune:  prune,
-		stats:  &EvalStats{bgpSizes: make(map[*BGPNode]int)},
+		stats:  newEvalStats(),
+	}
+	if parallelism > 1 {
+		ev.sem = make(chan struct{}, parallelism-1)
 	}
 	res := ev.group(t.Root, nil)
+	if err := ctx.Err(); err != nil {
+		return nil, ev.stats, err
+	}
 	if len(t.Select) > 0 {
 		keep := make([]int, 0, len(t.Select))
 		for _, name := range t.Select {
@@ -65,7 +129,7 @@ func Evaluate(t *Tree, st *store.Store, engine exec.Engine, prune Pruning) (*alg
 		res = algebra.Distinct(res)
 	}
 	res = applySlice(res, t.Offset, t.Limit)
-	return res, ev.stats
+	return res, ev.stats, nil
 }
 
 // applySlice implements the OFFSET and LIMIT solution modifiers.
@@ -103,23 +167,27 @@ func applySlice(b *algebra.Bag, offset, limit int) *algebra.Bag {
 // fold; for non-well-designed ones it is the Pérez-style semantics the
 // paper's Theorems 1–2 assume.
 func (ev *evaluator) group(g *GroupNode, incoming *algebra.Bag) *algebra.Bag {
+	if ev.ctx.Err() != nil {
+		return algebra.NewBag(ev.width) // discarded: caller reports ctx.Err()
+	}
 	var r *algebra.Bag
 	var optionals []*OptionalNode
 	for _, child := range g.Children {
 		switch child := child.(type) {
 		case *GroupNode:
 			o := ev.group(child, pickContext(r, incoming))
-			r = joinWith(r, o, ev.width)
+			r = ev.joinWith(r, o)
 		case *BGPNode:
 			cand := ev.deriveCandidates(child, r, incoming)
 			o := ev.evalBGP(child, cand)
-			r = joinWith(r, o, ev.width)
+			r = ev.joinWith(r, o)
 		case *UnionNode:
+			branches := ev.fanOut(child.Branches, pickContext(r, incoming))
 			u := algebra.NewBag(ev.width)
-			for _, br := range child.Branches {
-				u = algebra.Union(u, ev.group(br, pickContext(r, incoming)))
+			for _, b := range branches {
+				u = algebra.Union(u, b)
 			}
-			r = joinWith(r, u, ev.width)
+			r = ev.joinWith(r, u)
 		case *OptionalNode:
 			optionals = append(optionals, child)
 		}
@@ -127,11 +195,61 @@ func (ev *evaluator) group(g *GroupNode, incoming *algebra.Bag) *algebra.Bag {
 	if r == nil {
 		r = algebra.Unit(ev.width)
 	}
-	for _, opt := range optionals {
-		o := ev.group(opt.Right, pickContext(r, incoming))
-		r = algebra.LeftJoin(r, o)
+	if len(optionals) > 0 {
+		// All OPTIONAL right subtrees see the same candidate-derivation
+		// context: candidate sets depend only on the distinct bindings of
+		// the left side's certainly-bound variables, which LeftJoin
+		// preserves, so deriving from the pre-OPTIONAL bag is
+		// indistinguishable from the sequential fold's progressively
+		// left-joined bag — and makes the subtrees independent.
+		rights := make([]*GroupNode, len(optionals))
+		for i, opt := range optionals {
+			rights[i] = opt.Right
+		}
+		for _, o := range ev.fanOut(rights, pickContext(r, incoming)) {
+			r = algebra.LeftJoinCancel(r, o, ev.cancelled)
+		}
 	}
 	return r
+}
+
+// fanOut evaluates independent sibling groups against a shared context
+// bag, returning their bags in sibling order. With a worker pool, each
+// group tries to take a token and runs on its own goroutine (with its own
+// stats) when one is free, inline otherwise; the non-blocking acquire
+// keeps arbitrarily nested fan-out deadlock-free. Stats are merged in
+// sibling order after all branches finish, reproducing the sequential
+// instrumentation exactly.
+func (ev *evaluator) fanOut(groups []*GroupNode, ctxBag *algebra.Bag) []*algebra.Bag {
+	out := make([]*algebra.Bag, len(groups))
+	if ev.sem == nil || len(groups) < 2 {
+		for i, g := range groups {
+			out[i] = ev.group(g, ctxBag)
+		}
+		return out
+	}
+	subs := make([]*EvalStats, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		sub := ev.branch()
+		subs[i] = sub.stats
+		select {
+		case ev.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, g *GroupNode) {
+				defer wg.Done()
+				defer func() { <-ev.sem }()
+				out[i] = sub.group(g, ctxBag)
+			}(i, g)
+		default:
+			out[i] = sub.group(g, ctxBag)
+		}
+	}
+	wg.Wait()
+	for _, s := range subs {
+		ev.stats.merge(s)
+	}
+	return out
 }
 
 // pickContext chooses the bag from which nested evaluations derive
@@ -144,11 +262,17 @@ func pickContext(r, incoming *algebra.Bag) *algebra.Bag {
 	return incoming
 }
 
-func joinWith(r, o *algebra.Bag, width int) *algebra.Bag {
+// cancelled is the probe handed to the algebra's cancellable joins: the
+// materialized joins between sibling bags can dwarf any single BGP
+// evaluation (a cross product of disconnected BGPs, say), so they must
+// observe the context too.
+func (ev *evaluator) cancelled() bool { return ev.ctx.Err() != nil }
+
+func (ev *evaluator) joinWith(r, o *algebra.Bag) *algebra.Bag {
 	if r == nil {
 		return o
 	}
-	return algebra.Join(r, o)
+	return algebra.JoinCancel(r, o, ev.cancelled)
 }
 
 // evalBGP evaluates one BGP node through the engine, recording
@@ -157,7 +281,7 @@ func (ev *evaluator) evalBGP(b *BGPNode, cand exec.Candidates) *algebra.Bag {
 	if cand != nil {
 		ev.stats.PrunedBGPs++
 	}
-	res := ev.engine.EvalBGP(ev.st, b.Enc, ev.width, cand)
+	res := ev.engine.EvalBGP(ev.ctx, ev.st, b.Enc, ev.width, cand)
 	ev.stats.BGPResults = append(ev.stats.BGPResults, res.Len())
 	ev.stats.bgpSizes[b] = res.Len()
 	return res

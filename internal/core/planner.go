@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,29 +61,59 @@ type Result struct {
 	ExecTime        time.Duration // time spent in Algorithm 1
 }
 
+// ExecOptions configures how a plan is executed.
+type ExecOptions struct {
+	// Parallelism bounds the evaluation worker pool: sibling UNION
+	// branches and OPTIONAL subtrees run concurrently on up to this many
+	// goroutines. <= 0 selects GOMAXPROCS; 1 evaluates sequentially.
+	// Results and instrumentation are identical at every setting.
+	Parallelism int
+}
+
 // Run plans and executes a parsed query with the given strategy and BGP
-// engine. The store must be frozen (for statistics).
+// engine, sequentially and without cancellation. The store must be
+// frozen (for statistics).
 func Run(q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy) (*Result, error) {
+	return RunContext(context.Background(), q, st, engine, strat, ExecOptions{Parallelism: 1})
+}
+
+// RunContext plans and executes a parsed query, observing ctx for
+// cancellation and fanning evaluation out per opts.
+func RunContext(ctx context.Context, q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
 	tree, err := Build(q, st)
 	if err != nil {
 		return nil, err
 	}
-	return RunTree(tree, st, engine, strat), nil
+	return RunTreeContext(ctx, tree, st, engine, strat, opts)
 }
 
-// RunTree executes an already-built BE-tree with the given strategy. The
-// input tree is not modified (transforming strategies clone it).
+// RunTree executes an already-built BE-tree with the given strategy,
+// sequentially and without cancellation. The input tree is not modified
+// (transforming strategies clone it).
 func RunTree(t *Tree, st *store.Store, engine exec.Engine, strat Strategy) *Result {
+	res, _ := RunTreeContext(context.Background(), t, st, engine, strat, ExecOptions{Parallelism: 1})
+	return res
+}
+
+// RunTreeContext executes an already-built BE-tree with the given
+// strategy, observing ctx for cancellation/deadlines and evaluating with
+// the worker pool configured in opts. The input tree is not modified
+// (transforming strategies clone it). On cancellation the ctx error is
+// returned and the Result is nil.
+func RunTreeContext(ctx context.Context, t *Tree, st *store.Store, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
 	res := &Result{Vars: t.Vars}
 	work := t
 	switch strat {
 	case TT, Full:
 		work = t.Clone()
-		tr := NewTransformer(st, engine)
+		tr := NewTransformerContext(ctx, st, engine)
 		tr.SkipWhenEquivalentToCP = strat == Full
 		start := time.Now()
 		res.Transformations = tr.Transform(work)
 		res.TransformTime = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			return nil, err // Δ-costs were truncated; the plan is unusable
+		}
 	}
 	prune := Pruning{}
 	switch strat {
@@ -92,8 +123,11 @@ func RunTree(t *Tree, st *store.Store, engine exec.Engine, strat Strategy) *Resu
 		prune = Pruning{Enabled: true, Adaptive: true}
 	}
 	start := time.Now()
-	bag, stats := Evaluate(work, st, engine, prune)
+	bag, stats, err := EvaluateContext(ctx, work, st, engine, prune, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	res.ExecTime = time.Since(start)
 	res.Bag, res.Tree, res.Stats = bag, work, stats
-	return res
+	return res, nil
 }

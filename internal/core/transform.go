@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sparqluo/internal/exec"
 	"sparqluo/internal/store"
 )
@@ -32,6 +34,14 @@ type Transformer struct {
 // and BGP engine estimators.
 func NewTransformer(st *store.Store, engine exec.Engine) *Transformer {
 	return &Transformer{cm: &costModel{st: st, engine: engine}}
+}
+
+// NewTransformerContext is NewTransformer with a context bounding the
+// sampling estimators: once ctx is cancelled the cost model stops
+// sampling and the transformation finishes quickly with meaningless
+// Δ-costs, which the caller discards along with the plan.
+func NewTransformerContext(ctx context.Context, st *store.Store, engine exec.Engine) *Transformer {
+	return &Transformer{cm: &costModel{st: st, engine: engine, ctx: ctx}}
 }
 
 // Transform runs the multi-level transformation (Algorithm 4) on the tree

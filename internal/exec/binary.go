@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"sparqluo/internal/algebra"
@@ -17,8 +18,10 @@ func (BinaryJoinEngine) Name() string { return "binary" }
 
 // EvalBGP implements Engine with left-deep hash joins over per-pattern
 // scans ordered by ascending scan size, preferring connected patterns to
-// avoid cartesian products.
-func (BinaryJoinEngine) EvalBGP(st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+// avoid cartesian products. Cancellation is polled during scans and
+// between joins; a cancelled call may return a truncated bag, which only
+// callers ignoring ctx.Err() observe.
+func (BinaryJoinEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
 	if len(bgp) == 0 {
 		u := algebra.Unit(width)
 		return u
@@ -34,8 +37,12 @@ func (BinaryJoinEngine) EvalBGP(st *store.Store, bgp BGP, width int, cand Candid
 		}
 	}
 	order := greedyOrderWithCands(st, bgp, cand)
-	acc := scanPattern(st, bgp[order[0]], width, cand)
+	poll := ctxPoll{ctx: ctx}
+	acc := scanPattern(st, bgp[order[0]], width, cand, &poll)
 	for _, idx := range order[1:] {
+		if poll.done() {
+			return acc
+		}
 		if acc.Len() == 0 {
 			// Joining with the empty bag stays empty; still mark vars.
 			for _, v := range bgp[idx].Vars() {
@@ -44,13 +51,13 @@ func (BinaryJoinEngine) EvalBGP(st *store.Store, bgp BGP, width int, cand Candid
 			}
 			continue
 		}
-		acc = algebra.Join(acc, scanPattern(st, bgp[idx], width, cand))
+		acc = algebra.JoinCancel(acc, scanPattern(st, bgp[idx], width, cand, &poll), poll.done)
 	}
 	return acc
 }
 
 // scanPattern materializes all matches of a single pattern into a bag.
-func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates) *algebra.Bag {
+func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates, poll *ctxPoll) *algebra.Bag {
 	out := algebra.NewBag(width)
 	for _, v := range pat.Vars() {
 		out.Cert.Set(v)
@@ -58,19 +65,23 @@ func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates) *alge
 	}
 	seed := make(algebra.Row, width)
 	MatchPattern(st, pat, seed, cand, func(nr algebra.Row) {
+		if poll.stopped {
+			return
+		}
 		out.Append(nr)
+		poll.tick()
 	})
 	return out
 }
 
 // EstimateCard implements Engine via the shared sampling estimator over
 // the ascending-size order.
-func (BinaryJoinEngine) EstimateCard(st *store.Store, bgp BGP) float64 {
+func (BinaryJoinEngine) EstimateCard(ctx context.Context, st *store.Store, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 1
 	}
 	est := newEstimator(st, bgp)
-	cards, _ := est.estimate(bgp, sortedOrder(st, bgp))
+	cards, _ := est.estimate(ctx, bgp, sortedOrder(st, bgp))
 	return cards[len(cards)-1]
 }
 
@@ -81,13 +92,13 @@ func (BinaryJoinEngine) EstimateCard(st *store.Store, bgp BGP) float64 {
 //
 // summed over a left-deep join in ascending scan-size order, using the
 // sampling estimator for the accumulated side.
-func (BinaryJoinEngine) EstimateCost(st *store.Store, bgp BGP) float64 {
+func (BinaryJoinEngine) EstimateCost(ctx context.Context, st *store.Store, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 0
 	}
 	order := sortedOrder(st, bgp)
 	est := newEstimator(st, bgp)
-	cards, _ := est.estimate(bgp, order)
+	cards, _ := est.estimate(ctx, bgp, order)
 	cost := float64(ExactCount(st, bgp[order[0]]))
 	for k := 1; k < len(order); k++ {
 		left := cards[k-1]

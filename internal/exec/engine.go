@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"sparqluo/internal/algebra"
 	"sparqluo/internal/store"
 )
@@ -13,19 +15,55 @@ type Engine interface {
 	Name() string
 	// EvalBGP returns the bag of mappings of the BGP over the store,
 	// honoring candidate sets when non-nil. width is the query-wide
-	// number of variables.
-	EvalBGP(st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag
+	// number of variables. Implementations poll ctx periodically during
+	// long joins and may return a truncated bag once it is cancelled;
+	// callers that pass a cancellable context must check ctx.Err()
+	// before trusting the result.
+	EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag
 	// EstimateCard estimates |res(BGP)| using the sampling-based
-	// cardinality estimator of §5.1.2.
-	EstimateCard(st *store.Store, bgp BGP) float64
+	// cardinality estimator of §5.1.2. A cancelled ctx truncates the
+	// sampling walk; the estimate is then meaningless and the caller is
+	// expected to abandon the plan.
+	EstimateCard(ctx context.Context, st *store.Store, bgp BGP) float64
 	// EstimateCost estimates the engine-specific execution cost of the
-	// BGP (WCO-join cost or binary-join cost).
-	EstimateCost(st *store.Store, bgp BGP) float64
+	// BGP (WCO-join cost or binary-join cost), under the same
+	// cancellation contract as EstimateCard.
+	EstimateCost(ctx context.Context, st *store.Store, bgp BGP) float64
 }
 
 // sampleSize caps the number of partial results carried by the sampling
 // cardinality estimator.
 const sampleSize = 64
+
+// cancelCheckMask controls how often the engines poll the context during
+// row production: every (cancelCheckMask+1) produced rows. Polling per
+// row would dominate tight extension loops; a power-of-two batch keeps
+// the check to a single AND on the hot path.
+const cancelCheckMask = 2047
+
+// ctxPoll batches context cancellation checks. Engines call tick() per
+// produced row and done() between loop strata; both report true once the
+// context is cancelled.
+type ctxPoll struct {
+	ctx      context.Context
+	produced int
+	stopped  bool
+}
+
+func (c *ctxPoll) tick() bool {
+	c.produced++
+	if c.produced&cancelCheckMask == 0 && c.ctx.Err() != nil {
+		c.stopped = true
+	}
+	return c.stopped
+}
+
+func (c *ctxPoll) done() bool {
+	if !c.stopped && c.ctx.Err() != nil {
+		c.stopped = true
+	}
+	return c.stopped
+}
 
 // estimator implements the paper's shared cardinality estimation:
 // exact counts for single triple patterns, then for each added pattern a
@@ -48,8 +86,11 @@ func newEstimator(st *store.Store, bgp BGP) *estimator {
 
 // estimate walks the patterns in the given order, maintaining (card,
 // sample) and returning the per-step cardinalities: card[k] estimates the
-// result size after joining patterns order[0..k].
-func (e *estimator) estimate(bgp BGP, order []int) (cards []float64, samples [][]algebra.Row) {
+// result size after joining patterns order[0..k]. Each sample-row
+// extension can scan a large index range, so cancellation is polled
+// between rows; a truncated walk leaves the remaining cards at their
+// zero value, which callers discard along with the cancelled plan.
+func (e *estimator) estimate(ctx context.Context, bgp BGP, order []int) (cards []float64, samples [][]algebra.Row) {
 	cards = make([]float64, len(order))
 	samples = make([][]algebra.Row, len(order))
 	var sample []algebra.Row
@@ -63,6 +104,9 @@ func (e *estimator) estimate(bgp BGP, order []int) (cards []float64, samples [][
 			extended := 0
 			var next []algebra.Row
 			for _, r := range sample {
+				if ctx.Err() != nil {
+					return cards, samples
+				}
 				MatchPattern(e.st, pat, r, nil, func(nr algebra.Row) {
 					extended++
 					if len(next) < sampleSize {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -130,8 +131,8 @@ func TestQuickEnginesAgree(t *testing.T) {
 		for i := 0; i < 1+rng.Intn(3); i++ {
 			bgp = append(bgp, randomPattern(rng, st))
 		}
-		a := WCOEngine{}.EvalBGP(st, bgp, width, nil)
-		b := BinaryJoinEngine{}.EvalBGP(st, bgp, width, nil)
+		a := WCOEngine{}.EvalBGP(context.Background(), st, bgp, width, nil)
+		b := BinaryJoinEngine{}.EvalBGP(context.Background(), st, bgp, width, nil)
 		if !algebra.MultisetEqual(a, b) {
 			t.Logf("bgp %+v: wco %d, binary %d", bgp, a.Len(), b.Len())
 			return false
@@ -166,8 +167,8 @@ func TestQuickCandidatesAreExactFilter(t *testing.T) {
 		}
 		cand := Candidates{v: set}
 		for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
-			pruned := engine.EvalBGP(st, bgp, width, cand)
-			plain := engine.EvalBGP(st, bgp, width, nil)
+			pruned := engine.EvalBGP(context.Background(), st, bgp, width, cand)
+			plain := engine.EvalBGP(context.Background(), st, bgp, width, nil)
 			want := algebra.NewBag(width)
 			for _, r := range plain.Rows {
 				if _, ok := set[r[v]]; ok {
@@ -190,7 +191,7 @@ func TestQuickCandidatesAreExactFilter(t *testing.T) {
 func TestEmptyBGPYieldsUnit(t *testing.T) {
 	st := randomStore(rand.New(rand.NewSource(1)), 20)
 	for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
-		got := engine.EvalBGP(st, nil, 3, nil)
+		got := engine.EvalBGP(context.Background(), st, nil, 3, nil)
 		if got.Len() != 1 {
 			t.Errorf("%s: empty BGP should yield the unit bag, got %d rows", engine.Name(), got.Len())
 		}
@@ -201,7 +202,7 @@ func TestImpossiblePatternYieldsEmpty(t *testing.T) {
 	st := randomStore(rand.New(rand.NewSource(2)), 20)
 	bgp := BGP{{S: Var(0), P: Const(store.None), O: Var(1)}}
 	for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
-		if got := engine.EvalBGP(st, bgp, 2, nil); got.Len() != 0 {
+		if got := engine.EvalBGP(context.Background(), st, bgp, 2, nil); got.Len() != 0 {
 			t.Errorf("%s: impossible pattern should be empty, got %d", engine.Name(), got.Len())
 		}
 	}
@@ -219,7 +220,7 @@ func TestRepeatedVariableWithinPattern(t *testing.T) {
 	p, _ := st.Dict().Lookup(self.P)
 	bgp := BGP{{S: Var(0), P: Const(p), O: Var(0)}} // ?x p ?x
 	for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
-		got := engine.EvalBGP(st, bgp, 1, nil)
+		got := engine.EvalBGP(context.Background(), st, bgp, 1, nil)
 		if got.Len() != 1 {
 			t.Errorf("%s: self-loop pattern: got %d rows, want 1", engine.Name(), got.Len())
 		}
@@ -235,8 +236,8 @@ func TestEstimatesSane(t *testing.T) {
 			bgp = append(bgp, randomPattern(rng, st))
 		}
 		for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
-			card := engine.EstimateCard(st, bgp)
-			cost := engine.EstimateCost(st, bgp)
+			card := engine.EstimateCard(context.Background(), st, bgp)
+			cost := engine.EstimateCost(context.Background(), st, bgp)
 			if card < 0 || cost < 0 {
 				t.Fatalf("%s: negative estimate card=%v cost=%v", engine.Name(), card, cost)
 			}
@@ -245,7 +246,7 @@ func TestEstimatesSane(t *testing.T) {
 	// Single-pattern estimates are exact.
 	pat := randomPattern(rng, st)
 	exact := float64(ExactCount(st, pat))
-	if got := (WCOEngine{}).EstimateCard(st, BGP{pat}); got != exact {
+	if got := (WCOEngine{}).EstimateCard(context.Background(), st, BGP{pat}); got != exact {
 		t.Errorf("single-pattern estimate %v, want exact %v", got, exact)
 	}
 }

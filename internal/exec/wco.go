@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"sparqluo/internal/algebra"
 	"sparqluo/internal/store"
 )
@@ -15,7 +17,10 @@ type WCOEngine struct{}
 func (WCOEngine) Name() string { return "wco" }
 
 // EvalBGP implements Engine by vertex extension along a greedy join order.
-func (WCOEngine) EvalBGP(st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+// Cancellation is polled between row extensions so that worst-case joins
+// abort promptly; the truncated bag is only observed by callers that
+// ignore ctx.Err().
+func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
 	out := algebra.NewBag(width)
 	for _, v := range bgp.Vars() {
 		out.Cert.Set(v)
@@ -31,14 +36,25 @@ func (WCOEngine) EvalBGP(st *store.Store, bgp BGP, width int, cand Candidates) *
 		}
 	}
 	order := greedyOrderWithCands(st, bgp, cand)
+	poll := ctxPoll{ctx: ctx}
 	rows := []algebra.Row{make(algebra.Row, width)}
 	for _, idx := range order {
 		pat := bgp[idx]
 		var next []algebra.Row
 		for _, r := range rows {
 			MatchPattern(st, pat, r, cand, func(nr algebra.Row) {
+				if poll.stopped {
+					return // cancelled mid-scan: stop accumulating
+				}
 				next = append(next, nr)
+				poll.tick()
 			})
+			if poll.stopped {
+				return out
+			}
+		}
+		if poll.done() {
+			return out
 		}
 		rows = next
 		if len(rows) == 0 {
@@ -97,13 +113,13 @@ func greedyOrderWithCands(st *store.Store, bgp BGP, cand Candidates) []int {
 }
 
 // EstimateCard implements Engine via the shared sampling estimator.
-func (WCOEngine) EstimateCard(st *store.Store, bgp BGP) float64 {
+func (WCOEngine) EstimateCard(ctx context.Context, st *store.Store, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 1
 	}
 	est := newEstimator(st, bgp)
 	order := greedyOrder(st, bgp)
-	cards, _ := est.estimate(bgp, order)
+	cards, _ := est.estimate(ctx, bgp, order)
 	return cards[len(cards)-1]
 }
 
@@ -113,13 +129,13 @@ func (WCOEngine) EstimateCard(st *store.Store, bgp BGP) float64 {
 //
 // summed over the extension steps of the greedy order. The first pattern's
 // cost is its scan size.
-func (WCOEngine) EstimateCost(st *store.Store, bgp BGP) float64 {
+func (WCOEngine) EstimateCost(ctx context.Context, st *store.Store, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 0
 	}
 	est := newEstimator(st, bgp)
 	order := greedyOrder(st, bgp)
-	cards, _ := est.estimate(bgp, order)
+	cards, _ := est.estimate(ctx, bgp, order)
 	stats := st.Stats()
 	cost := float64(ExactCount(st, bgp[order[0]]))
 	bound := map[int]bool{}

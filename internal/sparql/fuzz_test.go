@@ -1,0 +1,44 @@
+package sparql
+
+import "testing"
+
+// FuzzParse throws arbitrary input at the SPARQL-UO parser. The
+// invariants: no panic, and a nil error implies a usable *Query with a
+// non-nil pattern. The seed corpus concentrates on the grammar the
+// paper exercises — UNION/OPTIONAL nesting — plus modifier clauses and
+// pathological fragments (unterminated strings, stray braces).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?s ?p ?o }`,
+		`SELECT ?x WHERE { ?x <http://p> "lit" }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?a ?b WHERE { ?a ex:p ?b }`,
+		`SELECT * WHERE { { ?a <p> ?b } UNION { ?b <q> ?a } }`,
+		`SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }`,
+		`SELECT * WHERE { { { ?a <p> ?b } UNION { ?a <q> ?b } } UNION { ?a <r> ?b OPTIONAL { ?b <s> ?c } } }`,
+		`SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c OPTIONAL { ?c <r> ?d } } OPTIONAL { ?a <s> ?e } }`,
+		`SELECT DISTINCT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } } LIMIT 10 OFFSET 2`,
+		`SELECT ?x WHERE { ?x <p> "esc\"aped \n lit" }`,
+		`SELECT ?x WHERE { ?x <p> "chat"@fr }`,
+		`SELECT ?x WHERE { ?x <p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> }`,
+		`SELECT * WHERE { _:b <p> ?x . ?x <q> _:b }`,
+		`SELECT * WHERE {`,
+		`SELECT * WHERE { ?a <p> "unterminated }`,
+		`SELECT * WHERE { } } UNION {`,
+		`PREFIX : <u> SELECT * WHERE { :a :b :c }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", src)
+		}
+		if q.Where == nil {
+			t.Fatalf("Parse(%q) returned query with nil WHERE pattern", src)
+		}
+	})
+}

@@ -1,0 +1,81 @@
+package sparqluo_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparqluo"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// goldenDB builds a small fixed dataset exercising every term kind the
+// JSON serializer distinguishes (IRIs, plain/lang/typed literals) plus
+// UNION and OPTIONAL structure. Triples are added in a fixed order so
+// the solution ordering is reproducible.
+func goldenDB() *sparqluo.DB {
+	db := sparqluo.Open()
+	iri := sparqluo.NewIRI
+	db.AddAll([]sparqluo.Triple{
+		{S: iri("http://g/alice"), P: iri("http://g/name"), O: sparqluo.NewLiteral("Alice")},
+		{S: iri("http://g/alice"), P: iri("http://g/role"), O: sparqluo.NewLangLiteral("chercheuse", "fr")},
+		{S: iri("http://g/alice"), P: iri("http://g/age"), O: sparqluo.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")},
+		{S: iri("http://g/bob"), P: iri("http://g/name"), O: sparqluo.NewLiteral("Bob")},
+		{S: iri("http://g/bob"), P: iri("http://g/knows"), O: iri("http://g/alice")},
+		{S: iri("http://g/carol"), P: iri("http://g/name"), O: sparqluo.NewLiteral("Carol")},
+		{S: iri("http://g/carol"), P: iri("http://g/knows"), O: iri("http://g/bob")},
+		{S: iri("http://g/carol"), P: iri("http://g/knows"), O: iri("http://g/alice")},
+	})
+	db.Freeze()
+	return db
+}
+
+// goldenQuery mixes UNION and OPTIONAL so the parallel fan-out paths
+// contribute rows whose order the merge must keep stable.
+const goldenQuery = `
+	PREFIX g: <http://g/>
+	SELECT ?s ?name ?o ?role ?age WHERE {
+		?s g:name ?name
+		{ ?s g:knows ?o } UNION { ?o g:knows ?s }
+		OPTIONAL { ?s g:role ?role }
+		OPTIONAL { ?s g:age ?age }
+	}`
+
+// TestWriteJSONGolden locks the W3C JSON serialization byte-for-byte
+// against testdata/results_golden.json, under maximum parallelism: any
+// nondeterminism the worker pool introduced in solution ordering (or
+// any serializer drift) fails the comparison. Refresh the file with
+// go test -run TestWriteJSONGolden -update-golden.
+func TestWriteJSONGolden(t *testing.T) {
+	db := goldenDB()
+	golden := filepath.Join("testdata", "results_golden.json")
+	for _, par := range []int{1, 8} {
+		res, err := db.Query(goldenQuery, sparqluo.WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if par == 1 && *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != string(want) {
+			t.Errorf("parallelism=%d: JSON output diverged from golden file\ngot:  %s\nwant: %s",
+				par, sb.String(), want)
+		}
+	}
+}

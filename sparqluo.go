@@ -19,9 +19,26 @@
 // The Strategy option selects between the paper's four approaches (Base,
 // TT, CP, Full — Full is the default); the Engine option selects the
 // underlying BGP engine.
+//
+// # Concurrency
+//
+// Once Freeze has been called the store is immutable, so any number of
+// goroutines may issue queries against one DB concurrently; all query
+// state lives on the call stack. Each query additionally evaluates
+// sibling UNION branches and OPTIONAL subtrees of its BE-tree in
+// parallel on a bounded worker pool sized by WithParallelism (default
+// GOMAXPROCS; 1 disables intra-query parallelism). Per-branch solution
+// bags and instrumentation are merged in sibling order, so results,
+// solution ordering, and metrics are byte-identical at every
+// parallelism level.
+//
+// QueryContext threads a context.Context through the evaluator and both
+// BGP engines: cancelling the context or passing one with a deadline
+// aborts long joins promptly and returns ctx.Err().
 package sparqluo
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -112,8 +129,9 @@ func (db *DB) Store() *store.Store { return db.st }
 type Option func(*queryConfig)
 
 type queryConfig struct {
-	strategy Strategy
-	engine   Engine
+	strategy    Strategy
+	engine      Engine
+	parallelism int
 }
 
 // WithStrategy selects the optimization strategy (default Full).
@@ -124,6 +142,14 @@ func WithStrategy(s Strategy) Option {
 // WithEngine selects the BGP engine (default WCO).
 func WithEngine(e Engine) Option {
 	return func(c *queryConfig) { c.engine = e }
+}
+
+// WithParallelism bounds the per-query evaluation worker pool: up to n
+// goroutines evaluate independent UNION branches and OPTIONAL subtrees
+// concurrently. n <= 0 selects GOMAXPROCS (the default); 1 evaluates
+// sequentially. Results are identical at every setting.
+func WithParallelism(n int) Option {
+	return func(c *queryConfig) { c.parallelism = n }
 }
 
 // Solution is one query solution: variable name → bound term. Unbound
@@ -180,8 +206,17 @@ func (r *Results) JoinSpace() float64 {
 	return core.JoinSpace(r.res.Tree, r.res.Stats)
 }
 
-// Query parses and executes a SPARQL-UO SELECT query.
+// Query parses and executes a SPARQL-UO SELECT query. It is
+// QueryContext with a background context.
 func (db *DB) Query(text string, opts ...Option) (*Results, error) {
+	return db.QueryContext(context.Background(), text, opts...)
+}
+
+// QueryContext parses and executes a SPARQL-UO SELECT query under a
+// context. Cancelling ctx (or exceeding its deadline) aborts evaluation
+// promptly — including inside the engines' join loops — and returns an
+// error wrapping ctx.Err().
+func (db *DB) QueryContext(ctx context.Context, text string, opts ...Option) (*Results, error) {
 	cfg := queryConfig{strategy: Full, engine: WCO}
 	for _, o := range opts {
 		o(&cfg)
@@ -193,8 +228,12 @@ func (db *DB) Query(text string, opts ...Option) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(q, db.st, cfg.engine.impl(), cfg.strategy)
+	res, err := core.RunContext(ctx, q, db.st, cfg.engine.impl(), cfg.strategy,
+		core.ExecOptions{Parallelism: cfg.parallelism})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("sparqluo: query aborted: %w", err)
+		}
 		return nil, err
 	}
 	names := res.Vars.Names()

@@ -1,15 +1,20 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store fuzz clean
 
-all: vet build test
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail fast on formatting drift.
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -19,6 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Store microbenchmarks: bulk load+freeze and point-lookup paths. CI runs
+# this with -benchtime=1x as a smoke test; use -benchtime=5s locally for
+# real numbers.
+BENCHTIME ?= 1x
+bench-store:
+	$(GO) test ./internal/bench -run '^$$' -bench 'LoadFreeze|Store' -benchtime $(BENCHTIME)
 
 # Short fuzz smoke for every fuzz target; CI runs this with FUZZTIME=10s.
 fuzz:

@@ -15,13 +15,15 @@ import (
 	"sparqluo/internal/dbpedia"
 	"sparqluo/internal/lubm"
 	"sparqluo/internal/rdf"
+	"sparqluo/internal/store"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "lubm", "lubm|dbpedia")
-		scale   = flag.Int("scale", 13, "universities (lubm) or entities (dbpedia)")
-		out     = flag.String("out", "", "output file (default stdout)")
+		dataset  = flag.String("dataset", "lubm", "lubm|dbpedia")
+		scale    = flag.Int("scale", 13, "universities (lubm) or entities (dbpedia)")
+		out      = flag.String("out", "", "output file (default stdout)")
+		memStats = flag.Bool("stats", false, "also load+freeze a store and report index memory to stderr")
 	)
 	flag.Parse()
 
@@ -58,4 +60,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "datagen: wrote %d triples\n", len(triples))
+
+	if *memStats {
+		st := store.New()
+		st.AddAll(triples)
+		st.Freeze()
+		fmt.Fprintf(os.Stderr, "datagen: store %s\n", st.MemStats())
+	}
 }

@@ -13,7 +13,7 @@ func TestTable2Printer(t *testing.T) {
 	var sb strings.Builder
 	Table2(&sb)
 	out := sb.String()
-	for _, want := range []string{"LUBM", "DBpedia", "triples", "predicates"} {
+	for _, want := range []string{"LUBM", "DBpedia", "triples", "predicates", "Store memory", "spo="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table2 output missing %q:\n%s", want, out)
 		}

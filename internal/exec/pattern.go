@@ -157,7 +157,7 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 		// If the object variable has a small candidate set, probe it
 		// instead of scanning the adjacency list.
 		if set := candFor(pat.O, cand); set != nil && len(set) < len(objs) {
-			for x := range set {
+			for _, x := range sortedSet(set) {
 				if st.Contains(s, p, x) {
 					bindEmit(pat, row, s, p, x, cand, emit)
 				}
@@ -170,7 +170,7 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 	case pb && ob:
 		subs := st.SubjectsPO(p, o)
 		if set := candFor(pat.S, cand); set != nil && len(set) < len(subs) {
-			for x := range set {
+			for _, x := range sortedSet(set) {
 				if st.Contains(x, p, o) {
 					bindEmit(pat, row, x, p, o, cand, emit)
 				}
@@ -181,55 +181,39 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 			bindEmit(pat, row, x, p, o, cand, emit)
 		}
 	case sb && ob:
-		adj := st.PredObjBySubject(s)
-		for _, pp := range sortedKeys(adj) {
-			for _, x := range adj[pp] {
-				if x == o {
-					bindEmit(pat, row, s, pp, o, cand, emit)
-				}
-			}
+		for _, pp := range st.PredsSO(s, o) {
+			bindEmit(pat, row, s, pp, o, cand, emit)
 		}
 	case pb:
-		// Only the predicate is bound: drive by the smaller of the
-		// subject candidate set and the subject adjacency.
-		adj := st.SubjObjByPredicate(p)
-		if set := candFor(pat.S, cand); set != nil && len(set) < len(adj) {
+		// Only the predicate is bound: a small candidate set on either
+		// endpoint turns the predicate scan into per-candidate binary
+		// searches; otherwise scan the POS run, sorted by (O,S).
+		if set := candFor(pat.S, cand); set != nil && len(set) < st.CountP(p) {
 			for _, ss := range sortedSet(set) {
-				for _, x := range adj[ss] {
+				for _, x := range st.ObjectsSP(ss, p) {
 					bindEmit(pat, row, ss, p, x, cand, emit)
 				}
 			}
 			return
 		}
-		if set := candFor(pat.O, cand); set != nil {
-			oAdj := st.ObjSubjByPredicate(p)
-			if len(set) < len(oAdj) {
-				for _, oo := range sortedSet(set) {
-					for _, ss := range oAdj[oo] {
-						bindEmit(pat, row, ss, p, oo, cand, emit)
-					}
+		if set := candFor(pat.O, cand); set != nil && len(set) < st.CountP(p) {
+			for _, oo := range sortedSet(set) {
+				for _, ss := range st.SubjectsPO(p, oo) {
+					bindEmit(pat, row, ss, p, oo, cand, emit)
 				}
-				return
 			}
+			return
 		}
-		for _, ss := range st.SubjectsOfPredicate(p) {
-			for _, x := range adj[ss] {
-				bindEmit(pat, row, ss, p, x, cand, emit)
-			}
+		for _, t := range st.PredicateTriples(p) {
+			bindEmit(pat, row, t.S, p, t.O, cand, emit)
 		}
 	case sb:
-		adj := st.PredObjBySubject(s)
-		for _, pp := range sortedKeys(adj) {
-			for _, x := range adj[pp] {
-				bindEmit(pat, row, s, pp, x, cand, emit)
-			}
+		for _, t := range st.SubjectTriples(s) {
+			bindEmit(pat, row, s, t.P, t.O, cand, emit)
 		}
 	case ob:
-		adj := st.PredSubjByObject(o)
-		for _, pp := range sortedKeys(adj) {
-			for _, x := range adj[pp] {
-				bindEmit(pat, row, x, pp, o, cand, emit)
-			}
+		for _, t := range st.ObjectTriples(o) {
+			bindEmit(pat, row, t.S, t.P, o, cand, emit)
 		}
 	default:
 		for _, t := range st.Triples() {
@@ -257,18 +241,6 @@ func repeatedVar(p Pattern) bool {
 		return true
 	}
 	return false
-}
-
-// sortedKeys returns map keys in ascending ID order; the per-subject and
-// per-object predicate maps are small, so sorting keeps scans
-// deterministic at negligible cost.
-func sortedKeys(m map[store.ID][]store.ID) []store.ID {
-	keys := make([]store.ID, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
 }
 
 // sortedSet returns set members in ascending ID order.
@@ -314,27 +286,11 @@ func ExactCount(st *store.Store, pat Pattern) int {
 	case pb:
 		return st.CountP(pat.P.ID)
 	case sb && ob:
-		n := 0
-		for _, objs := range st.PredObjBySubject(pat.S.ID) {
-			for _, x := range objs {
-				if x == pat.O.ID {
-					n++
-				}
-			}
-		}
-		return n
+		return st.CountSO(pat.S.ID, pat.O.ID)
 	case sb:
-		n := 0
-		for _, objs := range st.PredObjBySubject(pat.S.ID) {
-			n += len(objs)
-		}
-		return n
+		return st.CountS(pat.S.ID)
 	case ob:
-		n := 0
-		for _, subs := range st.PredSubjByObject(pat.O.ID) {
-			n += len(subs)
-		}
-		return n
+		return st.CountO(pat.O.ID)
 	default:
 		return st.NumTriples()
 	}

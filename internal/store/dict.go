@@ -1,7 +1,9 @@
 // Package store implements the RDF storage substrate that the BE-tree
 // optimizer sits on: dictionary encoding of terms to dense integer IDs,
-// permutation indexes over the encoded triples, and the statistics /
-// sampling-based cardinality estimation described in §5.1.2 of the paper.
+// a columnar sorted-permutation index (flat SPO/POS/OSP arrays with
+// CSR-style offset runs, built once at Freeze) over the encoded
+// triples, and the statistics / sampling-based cardinality estimation
+// described in §5.1.2 of the paper.
 package store
 
 import (

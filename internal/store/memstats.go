@@ -1,0 +1,53 @@
+package store
+
+import "fmt"
+
+// MemStats reports the memory footprint of the store's columnar arrays,
+// so index-size regressions show up in benchmark and tooling output.
+type MemStats struct {
+	Triples    int   // distinct triples (after sort+compact)
+	LogTriples int   // triples still in the ingestion log (0 once frozen)
+	LogBytes   int64 // bytes held by the ingestion log
+	SPOBytes   int64 // SPO permutation: triples + level-1 runs + object column
+	POSBytes   int64 // POS permutation: triples + level-1/level-2 runs + subject column
+	OSPBytes   int64 // OSP permutation: triples + level-1 runs + predicate column
+	DictTerms  int   // distinct terms in the dictionary
+	TotalBytes int64 // log + all permutations (dictionary strings excluded)
+}
+
+// MemStats returns the current memory footprint. It builds the
+// permutations if they are stale, so the figures always describe the
+// queryable layout.
+func (st *Store) MemStats() MemStats {
+	st.ensure()
+	const triSize = 12
+	m := MemStats{
+		Triples:    len(st.spo.tri),
+		LogTriples: len(st.log),
+		LogBytes:   int64(len(st.log)) * triSize,
+		SPOBytes:   st.spo.bytes(),
+		POSBytes: st.pos.bytes() + int64(len(st.posObjKeys))*4 +
+			int64(len(st.posObjOff))*4 + int64(len(st.posObjIdx))*4,
+		OSPBytes:  st.osp.bytes(),
+		DictTerms: st.dict.Len(),
+	}
+	m.TotalBytes = m.LogBytes + m.SPOBytes + m.POSBytes + m.OSPBytes
+	return m
+}
+
+// String renders the footprint as a single human-readable line.
+func (m MemStats) String() string {
+	return fmt.Sprintf("triples=%d log=%s spo=%s pos=%s osp=%s total=%s (dict terms=%d)",
+		m.Triples, fmtBytes(m.LogBytes), fmtBytes(m.SPOBytes), fmtBytes(m.POSBytes),
+		fmtBytes(m.OSPBytes), fmtBytes(m.TotalBytes), m.DictTerms)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -16,37 +16,55 @@ type Stats struct {
 	PredObjects  map[ID]int // distinct objects per predicate
 }
 
+// computeStats reads every statistic directly off the sorted permutation
+// arrays: POS row-pointer run lengths give per-predicate counts, value
+// transitions inside sorted runs give the distinct-value counts, and one
+// walk over the dense ID space classifies each term as subject and/or
+// object (entity or literal) from the emptiness of its SPO/OSP runs.
 func computeStats(st *Store) *Stats {
+	st.ensure()
+	maxID := st.dict.Len()
 	s := &Stats{
-		NumTriples:   len(st.triples),
+		NumTriples:   len(st.spo.tri),
 		PredCount:    make(map[ID]int),
 		PredSubjects: make(map[ID]int),
 		PredObjects:  make(map[ID]int),
 	}
-	entities := make(map[ID]struct{})
-	literals := make(map[ID]struct{})
-	for p, subjMap := range st.pso {
-		s.PredSubjects[p] = len(subjMap)
-		n := 0
-		for _, objs := range subjMap {
-			n += len(objs)
+	for p := ID(1); int(p) <= maxID; p++ {
+		lo, hi := st.pos.run(p)
+		if lo == hi {
+			continue
 		}
-		s.PredCount[p] = n
+		s.NumPreds++
+		s.PredCount[p] = hi - lo
+		// The POS level-2 runs list one key per distinct (p,o) pair.
+		s.PredObjects[p] = int(st.posObjIdx[p+1] - st.posObjIdx[p])
 	}
-	for p, objMap := range st.pos {
-		s.PredObjects[p] = len(objMap)
-	}
-	s.NumPreds = len(st.pso)
-	for _, t := range st.triples {
-		entities[t.S] = struct{}{}
-		if st.dict.Decode(t.O).IsLiteral() {
-			literals[t.O] = struct{}{}
-		} else {
-			entities[t.O] = struct{}{}
+	// SPO is sorted by (S,P,O): every (S,P) transition is one distinct
+	// subject of that predicate.
+	spo := st.spo.tri
+	for i, t := range spo {
+		if i == 0 || t.S != spo[i-1].S || t.P != spo[i-1].P {
+			s.PredSubjects[t.P]++
 		}
 	}
-	s.NumEntities = len(entities)
-	s.NumLiterals = len(literals)
+	// Entities are subjects plus non-literal objects; literal objects are
+	// counted separately.
+	for id := ID(1); int(id) <= maxID; id++ {
+		sLo, sHi := st.spo.run(id)
+		oLo, oHi := st.osp.run(id)
+		isSubj, isObj := sLo != sHi, oLo != oHi
+		if isObj && st.dict.Decode(id).IsLiteral() {
+			s.NumLiterals++
+			if isSubj {
+				s.NumEntities++
+			}
+			continue
+		}
+		if isSubj || isObj {
+			s.NumEntities++
+		}
+	}
 	return s
 }
 

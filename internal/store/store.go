@@ -2,6 +2,8 @@ package store
 
 import (
 	"io"
+	"math"
+	"slices"
 
 	"sparqluo/internal/rdf"
 )
@@ -11,58 +13,209 @@ type EncTriple struct {
 	S, P, O ID
 }
 
-// Store is an in-memory, dictionary-encoded triple store with permutation
-// indexes covering every triple-pattern access path:
+// Store is an in-memory, dictionary-encoded triple store with a columnar
+// sorted-permutation layout. Ingestion appends to a plain triple log;
+// the first read (or Freeze) sorts and deduplicates the log once and
+// builds three flat permutations of the triple set:
 //
-//	(s p ?) (s ? ?) (s ? o) (s p o) → spo
-//	(? p o)                         → pos
-//	(? p ?)                         → pso
-//	(? ? o)                         → ops
-//	(? ? ?)                         → triples
+//	spo — sorted (S,P,O): (s p ?) (s ? ?) (s p o)
+//	pos — sorted (P,O,S): (? p o) (? p ?)
+//	osp — sorted (O,S,P): (? ? o) (s ? o)
+//	spo (canonical order)           (? ? ?)
+//
+// Each permutation is a contiguous []EncTriple plus a CSR-style
+// row-pointer array over the dense dictionary ID space (level-1 lookup
+// is one indexed load) and a flat copy of its trailing component, so
+// every access path is at most a binary search over contiguous memory
+// and range accessors return zero-copy sub-slices. POS additionally
+// carries level-2 runs (distinct objects per predicate), so (? p o)
+// searches only a predicate's distinct-object keys. Sorted order
+// doubles as the deterministic iteration order
+// that reproducible sampling, plan selection and the parallel/sequential
+// byte-identical-results guarantee rely on; no side ordering structures
+// are needed.
 //
 // A Store is immutable after Freeze and safe for concurrent readers.
+// Reads before Freeze are supported for single-threaded use: each Add
+// invalidates the permutations and the next read rebuilds them.
 type Store struct {
-	dict    *Dict
-	triples []EncTriple
+	dict *Dict
 
-	spo map[ID]map[ID][]ID // subject → predicate → objects
-	pos map[ID]map[ID][]ID // predicate → object → subjects
-	pso map[ID]map[ID][]ID // predicate → subject → objects
-	ops map[ID]map[ID][]ID // object → predicate → subjects
+	// log is the append-only ingestion buffer. It may contain duplicate
+	// triples; they are removed by the sort+compact at build time. Freeze
+	// releases it (spo then owns the canonical triple set).
+	log []EncTriple
 
-	// psoOrder/posOrder record, per predicate, subjects and objects in
-	// first-seen order, giving deterministic scans (Go map iteration is
-	// randomized; sampling-based cardinality estimation and therefore
-	// plan selection must be reproducible).
-	psoOrder map[ID][]ID
-	posOrder map[ID][]ID
-
-	stats  *Stats
+	built  bool
 	frozen bool
+
+	spo perm // sorted (S,P,O); canonical, deduplicated
+	pos perm // sorted (P,O,S)
+	osp perm // sorted (O,S,P)
+
+	// Level-2 CSR runs of the POS permutation: posObjKeys lists the
+	// distinct objects of every predicate (grouped by predicate, each
+	// group ascending), posObjOff marks where object k's subjects start
+	// in pos, and posObjIdx are per-predicate row pointers into
+	// posObjKeys. (?,p,o) lookups then binary-search only the distinct
+	// objects of p — a short, dense []ID — instead of the full run.
+	posObjKeys []ID
+	posObjOff  []int32 // len = len(posObjKeys)+1
+	posObjIdx  []int32 // len = maxID+2
+
+	stats *Stats
+}
+
+// perm is one sorted permutation of the triple set. tri holds the full
+// set in permutation order. off is a CSR-style row-pointer array over
+// the dense dictionary ID space: the triples whose leading component is
+// id occupy tri[off[id]:off[id+1]], so the level-1 lookup is a single
+// indexed load (no search; dictionary IDs are dense). col is the
+// trailing component of every triple extracted into a flat column,
+// aligned with tri, so range lookups hand out zero-copy []ID views.
+type perm struct {
+	tri []EncTriple
+	off []int32 // len = maxID+2; off[0] = 0 (ID 0 is the None sentinel)
+	col []ID
+}
+
+// run returns the [lo,hi) range of triples whose leading component is id.
+func (x *perm) run(id ID) (int, int) {
+	if int(id) >= len(x.off)-1 {
+		return 0, 0
+	}
+	return int(x.off[id]), int(x.off[id+1])
+}
+
+// bytes reports the memory footprint of the permutation's arrays.
+func (x *perm) bytes() int64 {
+	const triSize, idSize, offSize = 12, 4, 4
+	return int64(len(x.tri))*triSize + int64(len(x.off))*offSize +
+		int64(len(x.col))*idSize
+}
+
+// makePerm builds the row-pointer index and trailing column of a triple
+// slice sorted by its leading component. keyOf/colOf select the leading
+// and trailing components for this permutation; maxID is the largest
+// dictionary ID.
+func makePerm(tri []EncTriple, maxID int, keyOf, colOf func(EncTriple) ID) perm {
+	x := perm{tri: tri, off: make([]int32, maxID+2), col: make([]ID, len(tri))}
+	for i, t := range tri {
+		x.col[i] = colOf(t)
+		x.off[keyOf(t)+1]++
+	}
+	for i := 1; i < len(x.off); i++ {
+		x.off[i] += x.off[i-1]
+	}
+	return x
+}
+
+func cmpSPO(a, b EncTriple) int {
+	if c := cmpID(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := cmpID(a.P, b.P); c != 0 {
+		return c
+	}
+	return cmpID(a.O, b.O)
+}
+
+func cmpPOS(a, b EncTriple) int {
+	if c := cmpID(a.P, b.P); c != 0 {
+		return c
+	}
+	if c := cmpID(a.O, b.O); c != 0 {
+		return c
+	}
+	return cmpID(a.S, b.S)
+}
+
+func cmpOSP(a, b EncTriple) int {
+	if c := cmpID(a.O, b.O); c != 0 {
+		return c
+	}
+	if c := cmpID(a.S, b.S); c != 0 {
+		return c
+	}
+	return cmpID(a.P, b.P)
+}
+
+func cmpID(a, b ID) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// eqRangeP returns the sub-range of tri[lo:hi] whose P equals p; the
+// input range must be sorted by P. Hand-rolled binary searches keep
+// closure overhead off the point-lookup hot path.
+func eqRangeP(tri []EncTriple, lo, hi int, p ID) (int, int) {
+	a, b := lo, hi
+	for a < b {
+		m := int(uint(a+b) >> 1)
+		if tri[m].P < p {
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	first, end := a, hi
+	for a < end {
+		m := int(uint(a+end) >> 1)
+		if tri[m].P <= p {
+			a = m + 1
+		} else {
+			end = m
+		}
+	}
+	return first, a
+}
+
+// eqRangeS is eqRangeP for the S component.
+func eqRangeS(tri []EncTriple, lo, hi int, s ID) (int, int) {
+	a, b := lo, hi
+	for a < b {
+		m := int(uint(a+b) >> 1)
+		if tri[m].S < s {
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	first, end := a, hi
+	for a < end {
+		m := int(uint(a+end) >> 1)
+		if tri[m].S <= s {
+			a = m + 1
+		} else {
+			end = m
+		}
+	}
+	return first, a
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		dict:     NewDict(),
-		spo:      make(map[ID]map[ID][]ID),
-		pos:      make(map[ID]map[ID][]ID),
-		pso:      make(map[ID]map[ID][]ID),
-		ops:      make(map[ID]map[ID][]ID),
-		psoOrder: make(map[ID][]ID),
-		posOrder: make(map[ID][]ID),
-	}
+	return &Store{dict: NewDict()}
 }
 
 // Dict exposes the store's term dictionary.
 func (st *Store) Dict() *Dict { return st.dict }
 
-// NumTriples returns the number of triples loaded (including duplicates,
-// which are stored once; RDF datasets are sets of triples).
-func (st *Store) NumTriples() int { return len(st.triples) }
+// NumTriples returns the number of distinct triples stored (RDF datasets
+// are sets of triples; duplicates are removed at build time).
+func (st *Store) NumTriples() int {
+	st.ensure()
+	return len(st.spo.tri)
+}
 
-// Add inserts one triple. Duplicate triples are ignored (RDF set
-// semantics). Add panics if called after Freeze.
+// Add inserts one triple. Duplicate triples are deduplicated by the
+// sort+compact pass at build time, keeping Add itself O(1) amortized so
+// bulk loading is O(n log n) overall. Add panics if called after Freeze.
 func (st *Store) Add(t rdf.Triple) {
 	if st.frozen {
 		panic("store: Add after Freeze")
@@ -70,25 +223,8 @@ func (st *Store) Add(t rdf.Triple) {
 	s := st.dict.Encode(t.S)
 	p := st.dict.Encode(t.P)
 	o := st.dict.Encode(t.O)
-	// Duplicate check via spo.
-	if objs, ok := st.spo[s][p]; ok {
-		for _, x := range objs {
-			if x == o {
-				return
-			}
-		}
-	}
-	st.triples = append(st.triples, EncTriple{s, p, o})
-	addNested(st.spo, s, p, o)
-	if len(st.pos[p][o]) == 0 {
-		st.posOrder[p] = append(st.posOrder[p], o)
-	}
-	addNested(st.pos, p, o, s)
-	if len(st.pso[p][s]) == 0 {
-		st.psoOrder[p] = append(st.psoOrder[p], s)
-	}
-	addNested(st.pso, p, s, o)
-	addNested(st.ops, o, p, s)
+	st.log = append(st.log, EncTriple{s, p, o})
+	st.built = false
 }
 
 // AddAll inserts every triple in ts.
@@ -113,23 +249,83 @@ func (st *Store) LoadNTriples(r io.Reader) error {
 	}
 }
 
-func addNested(m map[ID]map[ID][]ID, a, b, c ID) {
-	inner, ok := m[a]
-	if !ok {
-		inner = make(map[ID][]ID)
-		m[a] = inner
+// ensure (re)builds the permutations if the log changed since the last
+// build. Post-Freeze this is a single branch on the read path.
+func (st *Store) ensure() {
+	if st.built {
+		return
 	}
-	inner[b] = append(inner[b], c)
+	st.build()
 }
 
-// Freeze computes statistics and marks the store read-only. Queries may be
-// run before Freeze, but cardinality estimation requires it. Freeze is
-// idempotent.
+// build sorts the ingestion log, compacts duplicates, and derives the
+// three permutations and their run indexes. The log is kept (pre-Freeze,
+// further Adds re-enter build); Freeze releases it.
+func (st *Store) build() {
+	if len(st.log) > math.MaxInt32 {
+		panic("store: triple count exceeds int32 offset range")
+	}
+	maxID := st.dict.Len()
+	slices.SortFunc(st.log, cmpSPO)
+	spo := make([]EncTriple, 0, len(st.log))
+	for i, t := range st.log {
+		if i > 0 && t == st.log[i-1] {
+			continue
+		}
+		spo = append(spo, t)
+	}
+	// Drop the duplicate-proportional spare capacity; spo lives for the
+	// store's lifetime and MemStats reports by length.
+	spo = slices.Clip(spo)
+	st.spo = makePerm(spo, maxID,
+		func(t EncTriple) ID { return t.S },
+		func(t EncTriple) ID { return t.O })
+
+	pos := append([]EncTriple(nil), spo...)
+	slices.SortFunc(pos, cmpPOS)
+	st.pos = makePerm(pos, maxID,
+		func(t EncTriple) ID { return t.P },
+		func(t EncTriple) ID { return t.S })
+
+	osp := append([]EncTriple(nil), spo...)
+	slices.SortFunc(osp, cmpOSP)
+	st.osp = makePerm(osp, maxID,
+		func(t EncTriple) ID { return t.O },
+		func(t EncTriple) ID { return t.P })
+
+	// Level-2 runs over POS: one entry per distinct (predicate, object)
+	// pair, in POS order. Freshly allocated each build — reusing the
+	// backing arrays would corrupt views handed out before a pre-Freeze
+	// Add triggered a rebuild.
+	st.posObjKeys = nil
+	st.posObjOff = nil
+	st.posObjIdx = make([]int32, maxID+2)
+	for i, t := range pos {
+		if i == 0 || t.P != pos[i-1].P || t.O != pos[i-1].O {
+			st.posObjKeys = append(st.posObjKeys, t.O)
+			st.posObjOff = append(st.posObjOff, int32(i))
+			st.posObjIdx[t.P+1]++
+		}
+	}
+	st.posObjOff = append(st.posObjOff, int32(len(pos)))
+	for i := 1; i < len(st.posObjIdx); i++ {
+		st.posObjIdx[i] += st.posObjIdx[i-1]
+	}
+
+	st.built = true
+}
+
+// Freeze builds the permutations, computes statistics, releases the
+// ingestion log, and marks the store read-only. Queries may be run
+// before Freeze (single-threaded), but cardinality estimation requires
+// it. Freeze is idempotent.
 func (st *Store) Freeze() {
 	if st.frozen {
 		return
 	}
+	st.ensure()
 	st.frozen = true
+	st.log = nil
 	st.stats = computeStats(st)
 }
 
@@ -139,58 +335,146 @@ func (st *Store) Stats() *Stats {
 	return st.stats
 }
 
-// Contains reports whether the fully ground triple (s,p,o) is present.
+// Contains reports whether the fully ground triple (s,p,o) is present,
+// by binary search on the SPO permutation.
 func (st *Store) Contains(s, p, o ID) bool {
-	for _, x := range st.spo[s][p] {
-		if x == o {
-			return true
+	st.ensure()
+	lo, hi := st.spo.run(s)
+	end := hi
+	tri := st.spo.tri
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		t := tri[m]
+		if t.P < p || (t.P == p && t.O < o) {
+			lo = m + 1
+		} else {
+			hi = m
 		}
 	}
-	return false
+	return lo < end && tri[lo].P == p && tri[lo].O == o
 }
 
 // ObjectsSP returns the objects of all triples with the given subject and
-// predicate. The returned slice is owned by the store; do not modify it.
-func (st *Store) ObjectsSP(s, p ID) []ID { return st.spo[s][p] }
+// predicate, in ascending ID order. The returned slice is a view into the
+// store's object column; do not modify it.
+func (st *Store) ObjectsSP(s, p ID) []ID {
+	st.ensure()
+	lo, hi := st.spo.run(s)
+	a, b := eqRangeP(st.spo.tri, lo, hi, p)
+	return st.spo.col[a:b]
+}
 
 // SubjectsPO returns the subjects of all triples with the given predicate
-// and object.
-func (st *Store) SubjectsPO(p, o ID) []ID { return st.pos[p][o] }
+// and object, in ascending ID order (zero-copy view).
+func (st *Store) SubjectsPO(p, o ID) []ID {
+	st.ensure()
+	if int(p) >= len(st.posObjIdx)-1 {
+		return nil
+	}
+	lo, hi := int(st.posObjIdx[p]), int(st.posObjIdx[p+1])
+	end := hi
+	keys := st.posObjKeys
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if keys[m] < o {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo == end || keys[lo] != o {
+		return nil
+	}
+	return st.pos.col[st.posObjOff[lo]:st.posObjOff[lo+1]]
+}
 
-// PredObjBySubject returns the predicate→objects adjacency of a subject.
-func (st *Store) PredObjBySubject(s ID) map[ID][]ID { return st.spo[s] }
+// PredsSO returns the predicates linking subject s to object o, in
+// ascending ID order (zero-copy view of the OSP predicate column).
+func (st *Store) PredsSO(s, o ID) []ID {
+	st.ensure()
+	lo, hi := st.osp.run(o)
+	a, b := eqRangeS(st.osp.tri, lo, hi, s)
+	return st.osp.col[a:b]
+}
 
-// PredSubjByObject returns the predicate→subjects adjacency of an object.
-func (st *Store) PredSubjByObject(o ID) map[ID][]ID { return st.ops[o] }
+// SubjectTriples returns all triples with subject s, sorted by (P,O)
+// (zero-copy view of the SPO permutation).
+func (st *Store) SubjectTriples(s ID) []EncTriple {
+	st.ensure()
+	lo, hi := st.spo.run(s)
+	return st.spo.tri[lo:hi]
+}
 
-// SubjObjByPredicate returns the subject→objects adjacency of a predicate.
-func (st *Store) SubjObjByPredicate(p ID) map[ID][]ID { return st.pso[p] }
+// PredicateTriples returns all triples with predicate p, sorted by (O,S)
+// (zero-copy view of the POS permutation).
+func (st *Store) PredicateTriples(p ID) []EncTriple {
+	st.ensure()
+	lo, hi := st.pos.run(p)
+	return st.pos.tri[lo:hi]
+}
 
-// ObjSubjByPredicate returns the object→subjects adjacency of a predicate.
-func (st *Store) ObjSubjByPredicate(p ID) map[ID][]ID { return st.pos[p] }
+// ObjectTriples returns all triples with object o, sorted by (S,P)
+// (zero-copy view of the OSP permutation).
+func (st *Store) ObjectTriples(o ID) []EncTriple {
+	st.ensure()
+	lo, hi := st.osp.run(o)
+	return st.osp.tri[lo:hi]
+}
 
 // SubjectsOfPredicate returns the distinct subjects of a predicate in
-// first-seen order (deterministic iteration).
-func (st *Store) SubjectsOfPredicate(p ID) []ID { return st.psoOrder[p] }
+// ascending ID order. The slice is computed per call; engine scan paths
+// iterate PredicateTriples instead.
+func (st *Store) SubjectsOfPredicate(p ID) []ID {
+	st.ensure()
+	lo, hi := st.pos.run(p)
+	subs := append([]ID(nil), st.pos.col[lo:hi]...)
+	slices.Sort(subs)
+	return slices.Compact(subs)
+}
 
 // ObjectsOfPredicate returns the distinct objects of a predicate in
-// first-seen order (deterministic iteration).
-func (st *Store) ObjectsOfPredicate(p ID) []ID { return st.posOrder[p] }
+// ascending ID order — a zero-copy view of the POS level-2 run keys.
+func (st *Store) ObjectsOfPredicate(p ID) []ID {
+	st.ensure()
+	if int(p) >= len(st.posObjIdx)-1 {
+		return nil
+	}
+	return st.posObjKeys[st.posObjIdx[p]:st.posObjIdx[p+1]]
+}
 
-// Triples returns the raw encoded triple slice (read-only).
-func (st *Store) Triples() []EncTriple { return st.triples }
+// Triples returns the full triple set in canonical (S,P,O) sorted order
+// (read-only view).
+func (st *Store) Triples() []EncTriple {
+	st.ensure()
+	return st.spo.tri
+}
 
 // CountP returns the number of triples with predicate p.
 func (st *Store) CountP(p ID) int {
-	n := 0
-	for _, objs := range st.pso[p] {
-		n += len(objs)
-	}
-	return n
+	st.ensure()
+	lo, hi := st.pos.run(p)
+	return hi - lo
+}
+
+// CountS returns the number of triples with subject s.
+func (st *Store) CountS(s ID) int {
+	st.ensure()
+	lo, hi := st.spo.run(s)
+	return hi - lo
+}
+
+// CountO returns the number of triples with object o.
+func (st *Store) CountO(o ID) int {
+	st.ensure()
+	lo, hi := st.osp.run(o)
+	return hi - lo
 }
 
 // CountSP returns the number of triples with subject s and predicate p.
-func (st *Store) CountSP(s, p ID) int { return len(st.spo[s][p]) }
+func (st *Store) CountSP(s, p ID) int { return len(st.ObjectsSP(s, p)) }
 
 // CountPO returns the number of triples with predicate p and object o.
-func (st *Store) CountPO(p, o ID) int { return len(st.pos[p][o]) }
+func (st *Store) CountPO(p, o ID) int { return len(st.SubjectsPO(p, o)) }
+
+// CountSO returns the number of triples with subject s and object o.
+func (st *Store) CountSO(s, o ID) int { return len(st.PredsSO(s, o)) }

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart snapshot-smoke fuzz clean
 
 all: vet fmt-check build test
 
@@ -32,10 +32,35 @@ BENCHTIME ?= 1x
 bench-store:
 	$(GO) test ./internal/bench -run '^$$' -bench 'LoadFreeze|Store' -benchtime $(BENCHTIME)
 
+# Cold-start comparison: snapshot open+mmap vs N-Triples parse+freeze
+# on LUBM-13 (the snapshot subsystem's headline number).
+bench-coldstart:
+	$(GO) test ./internal/bench -run '^$$' -bench 'ColdStart' -benchtime $(BENCHTIME)
+
+# End-to-end snapshot smoke: generate one dataset in both
+# representations (N-Triples and snapshot image), run the same UO query
+# against each through sparql-uo's magic auto-detection, and require
+# byte-identical solutions. The timing line (line 2) is stripped before
+# comparing.
+snapshot-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	q='PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> SELECT * WHERE { { ?x ub:advisor ?y . } UNION { ?x ub:headOf ?y . } OPTIONAL { ?y ub:name ?n } }'; \
+	$(GO) run ./cmd/datagen -dataset lubm -scale 2 -out $$tmp/g.nt -snapshot $$tmp/g.img; \
+	$(GO) run ./cmd/sparql-uo -data $$tmp/g.nt -q "$$q" -limit 0 | tail -n +3 > $$tmp/parsed.out; \
+	$(GO) run ./cmd/sparql-uo -data $$tmp/g.img -q "$$q" -limit 0 | tail -n +3 > $$tmp/snap.out; \
+	if ! cmp -s $$tmp/parsed.out $$tmp/snap.out; then \
+		echo "snapshot-smoke: snapshot results differ from parsed store:"; \
+		diff $$tmp/parsed.out $$tmp/snap.out | head -20; rm -rf $$tmp; exit 1; fi; \
+	if ! test -s $$tmp/parsed.out; then \
+		echo "snapshot-smoke: query returned no solutions"; rm -rf $$tmp; exit 1; fi; \
+	echo "snapshot-smoke: $$(wc -l < $$tmp/parsed.out | tr -d ' ') identical solutions from image and N-Triples"; \
+	rm -rf $$tmp
+
 # Short fuzz smoke for every fuzz target; CI runs this with FUZZTIME=10s.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sparql/
 	$(GO) test -run '^$$' -fuzz FuzzNTriples -fuzztime $(FUZZTIME) ./internal/rdf/
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotLoad -fuzztime $(FUZZTIME) ./internal/snapshot/
 
 clean:
 	$(GO) clean -testcache

@@ -5,6 +5,16 @@
 //
 // For LUBM the scale is the number of universities; for DBpedia-like data
 // it is the number of encyclopedia articles.
+//
+// With -snapshot, datagen additionally loads the triples into a store,
+// freezes it, and writes a binary snapshot image that sparql-server and
+// sparql-uo can open directly (skipping parse and index build):
+//
+//	datagen -dataset lubm -scale 13 -snapshot lubm13.img
+//
+// -out and -snapshot may be combined to produce both representations of
+// the same dataset in one run; with -snapshot alone, no N-Triples are
+// written.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"sparqluo/internal/dbpedia"
 	"sparqluo/internal/lubm"
 	"sparqluo/internal/rdf"
+	"sparqluo/internal/snapshot"
 	"sparqluo/internal/store"
 )
 
@@ -22,7 +33,8 @@ func main() {
 	var (
 		dataset  = flag.String("dataset", "lubm", "lubm|dbpedia")
 		scale    = flag.Int("scale", 13, "universities (lubm) or entities (dbpedia)")
-		out      = flag.String("out", "", "output file (default stdout)")
+		out      = flag.String("out", "", "N-Triples output file (default stdout; \"-\" forces stdout)")
+		snapPath = flag.String("snapshot", "", "also write a binary snapshot image to this path")
 		memStats = flag.Bool("stats", false, "also load+freeze a store and report index memory to stderr")
 	)
 	flag.Parse()
@@ -38,33 +50,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+	// Emit N-Triples unless the caller asked only for a snapshot image.
+	if *out != "" || *snapPath == "" {
+		w := os.Stdout
+		if *out != "" && *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
 		}
-		defer f.Close()
-		w = f
-	}
-	enc := rdf.NewEncoder(w)
-	for _, t := range triples {
-		if err := enc.Encode(t); err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+		enc := rdf.NewEncoder(w)
+		for _, t := range triples {
+			if err := enc.Encode(t); err != nil {
+				fatal(err)
+			}
 		}
+		if err := enc.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: wrote %d triples\n", len(triples))
 	}
-	if err := enc.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "datagen: wrote %d triples\n", len(triples))
 
-	if *memStats {
+	if *snapPath != "" || *memStats {
 		st := store.New()
 		st.AddAll(triples)
 		st.Freeze()
-		fmt.Fprintf(os.Stderr, "datagen: store %s\n", st.MemStats())
+		if *memStats {
+			fmt.Fprintf(os.Stderr, "datagen: store %s\n", st.MemStats())
+		}
+		if *snapPath != "" {
+			if err := snapshot.WriteFile(*snapPath, st); err != nil {
+				fatal(err)
+			}
+			fi, err := os.Stat(*snapPath)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "datagen: wrote snapshot %s (%d triples, %d bytes)\n",
+				*snapPath, st.NumTriples(), fi.Size())
+		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
 }

@@ -1,9 +1,12 @@
-// Command sparql-uo loads an N-Triples file and executes a SPARQL-UO
-// query against it:
+// Command sparql-uo loads a dataset and executes a SPARQL-UO query
+// against it:
 //
 //	sparql-uo -data graph.nt -query query.rq [-strategy full] [-engine wco] [-explain] [-limit 20]
 //
-// The query may also be given inline with -q 'SELECT ...'.
+// The query may also be given inline with -q 'SELECT ...'. -data
+// accepts either an N-Triples document or a binary snapshot image
+// (written by `datagen -snapshot` or DB.WriteSnapshot), auto-detected
+// by the image magic; snapshots skip parsing and index building.
 package main
 
 import (
@@ -40,16 +43,10 @@ func main() {
 		text = string(b)
 	}
 
-	db := sparqluo.Open()
-	f, err := os.Open(*dataPath)
+	db, _, err := sparqluo.OpenFile(*dataPath)
 	if err != nil {
 		fatal(err)
 	}
-	if err := db.Load(f); err != nil {
-		fatal(err)
-	}
-	f.Close()
-	db.Freeze()
 	fmt.Printf("loaded %d triples\n", db.NumTriples())
 
 	opts := []sparqluo.Option{

@@ -47,7 +47,8 @@ func WithHandlerParallelism(n int) HandlerOption {
 // SPARQL endpoint:
 //
 //	GET  /sparql?query=...          run a query (also accepts POST form)
-//	GET  /stats                     dataset statistics
+//	GET  /stats                     dataset statistics and memory footprint
+//	GET  /healthz                   readiness probe (200 once frozen)
 //
 // Query responses use the W3C SPARQL 1.1 Query Results JSON Format. The
 // optional "strategy" parameter selects base|tt|cp|full (default full),
@@ -123,7 +124,25 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 		if s := db.st.Stats(); s != nil {
 			fmt.Fprintf(w, "entities: %d\npredicates: %d\nliterals: %d\n",
 				s.NumEntities, s.NumPreds, s.NumLiterals)
+			// MemStats may (re)build indexes on an unfrozen store, so
+			// only report it once frozen, where it is a pure read.
+			m := db.st.MemStats()
+			fmt.Fprintf(w, "dict-bytes: %d\nmemory: %s\n", m.DictBytes, m)
 		}
+	})
+	// Load-balancer readiness probe: 200 exactly when the DB is frozen
+	// (statistics exist), i.e. loading finished and queries are allowed.
+	// Handlers are normally constructed after Freeze (loading a store
+	// while serving it is not supported — pre-Freeze reads are
+	// single-threaded by the store's contract); the 503 branch keeps a
+	// misconfigured replica out of rotation instead of serving errors.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if db.st.Stats() == nil {
+			http.Error(w, "loading: store not frozen yet", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
 	})
 	return mux
 }

@@ -95,6 +95,37 @@ func TestHTTPStats(t *testing.T) {
 	if !strings.Contains(body, "triples: 5") {
 		t.Errorf("stats body:\n%s", body)
 	}
+	if !strings.Contains(body, "dict-bytes: ") || !strings.Contains(body, "dict=") {
+		t.Errorf("stats body missing dictionary footprint:\n%s", body)
+	}
+}
+
+// TestHTTPHealthz: the readiness probe must report 503 while the store
+// is still loading (unfrozen) and 200 once it is queryable, so load
+// balancers only route traffic to ready replicas.
+func TestHTTPHealthz(t *testing.T) {
+	loading := sparqluo.Open() // never frozen: still "loading"
+	srv := httptest.NewServer(sparqluo.NewHandler(loading))
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unfrozen healthz: status %d, want 503", resp.StatusCode)
+	}
+
+	srv = httptest.NewServer(sparqluo.NewHandler(openTestDB(t)))
+	defer srv.Close()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("frozen healthz: status %d, want 200", resp.StatusCode)
+	}
 }
 
 func TestHTTPStrategyParameter(t *testing.T) {

@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the file into memory on platforms without a usable
+// mmap. Loading still skips parsing and sorting; it just pays one
+// sequential read up front.
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}

@@ -1,0 +1,19 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The kernel pages the image in
+// on demand, so open time is independent of image size and unqueried
+// regions never occupy memory.
+func mapFile(f *os.File, size int64) ([]byte, func([]byte) error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

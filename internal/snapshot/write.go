@@ -1,0 +1,226 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"unsafe"
+
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/store"
+)
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// bytesOf reinterprets a numeric slice as its raw bytes, zero-copy.
+func bytesOf[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// Write serializes a frozen store as a snapshot image. The store must
+// be frozen: the image embeds the Freeze-time statistics, and freezing
+// is what guarantees the layout can never change under the writer.
+func Write(w io.Writer, st *store.Store) error {
+	if !st.Frozen() {
+		return fmt.Errorf("snapshot: store must be frozen before writing")
+	}
+	l := st.Layout()
+	dict := st.Dict()
+
+	sections := make([][]byte, numSections+1) // indexed by section kind
+	sections[secDictBlob] = encodeDict(dict.Terms())
+	sections[secSPOTri] = bytesOf(l.SPO.Tri)
+	sections[secSPOOff] = bytesOf(l.SPO.Off)
+	sections[secSPOCol] = bytesOf(l.SPO.Col)
+	sections[secPOSTri] = bytesOf(l.POS.Tri)
+	sections[secPOSOff] = bytesOf(l.POS.Off)
+	sections[secPOSCol] = bytesOf(l.POS.Col)
+	sections[secOSPTri] = bytesOf(l.OSP.Tri)
+	sections[secOSPOff] = bytesOf(l.OSP.Off)
+	sections[secOSPCol] = bytesOf(l.OSP.Col)
+	sections[secPosObjKeys] = bytesOf(l.PosObjKeys)
+	sections[secPosObjOff] = bytesOf(l.PosObjOff)
+	sections[secPosObjIdx] = bytesOf(l.PosObjIdx)
+	sections[secStats] = encodeStats(st.Stats())
+
+	// Lay the sections out after the header and table, each 8-aligned.
+	table := make([]byte, tableSize)
+	off := uint64(headerSize + tableSize)
+	for kind := 1; kind <= numSections; kind++ {
+		off = align(off)
+		e := table[(kind-1)*sectionEntrySize:]
+		binary.LittleEndian.PutUint32(e[0:], uint32(kind))
+		binary.LittleEndian.PutUint64(e[8:], off)
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(sections[kind])))
+		binary.LittleEndian.PutUint32(e[24:], crc32.Checksum(sections[kind], castagnoli))
+		off += uint64(len(sections[kind]))
+	}
+
+	header := make([]byte, headerSize)
+	copy(header[offMagic:], Magic[:])
+	binary.LittleEndian.PutUint32(header[offVersion:], Version)
+	bom := byteOrderMark()
+	copy(header[offByteOrder:], bom[:])
+	binary.LittleEndian.PutUint64(header[offFileSize:], off)
+	binary.LittleEndian.PutUint64(header[offTriples:], uint64(st.NumTriples()))
+	binary.LittleEndian.PutUint64(header[offTerms:], uint64(dict.Len()))
+	binary.LittleEndian.PutUint32(header[offSecCount:], numSections)
+	binary.LittleEndian.PutUint32(header[offTableCRC:], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(header[offHeaderCRC:], crc32.Checksum(header[:offHeaderCRC], castagnoli))
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	pos := uint64(0)
+	emit := func(b []byte) error {
+		if pad := align(pos) - pos; pad > 0 {
+			if _, err := bw.Write(make([]byte, pad)); err != nil {
+				return err
+			}
+			pos += pad
+		}
+		n, err := bw.Write(b)
+		pos += uint64(n)
+		return err
+	}
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	pos += headerSize
+	if _, err := bw.Write(table); err != nil {
+		return err
+	}
+	pos += tableSize
+	for kind := 1; kind <= numSections; kind++ {
+		if err := emit(sections[kind]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the snapshot to path atomically: the image is
+// assembled in a sibling temp file, synced to stable storage, and
+// renamed into place, so a crash mid-write never leaves a half image
+// under the target name.
+func WriteFile(path string, st *store.Store) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := Write(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp opens 0600; images are shareable artifacts like the
+	// N-Triples they cache (a deploy job often writes them as a
+	// different user than the server reads them as).
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Flush data before the rename: otherwise the filesystem may commit
+	// the rename but not the pages, leaving a truncated image under the
+	// final name after power loss — exactly what the temp file exists
+	// to prevent.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func align(off uint64) uint64 {
+	return (off + sectionAlign - 1) &^ (sectionAlign - 1)
+}
+
+// encodeDict serializes the term dictionary in ID order. Each record is
+//
+//	tag byte · uvarint len(value) · value
+//	           [· uvarint len(extra) · extra]   (lang / datatype tags)
+//
+// Records are self-delimiting, so the loader reconstructs terms with a
+// single sequential walk and no separate offset table.
+func encodeDict(terms []rdf.Term) []byte {
+	var n int
+	for _, t := range terms {
+		n += 1 + binary.MaxVarintLen32*2 + len(t.Value) + len(t.Lang) + len(t.Datatype)
+	}
+	blob := make([]byte, 0, n)
+	for _, t := range terms {
+		switch t.Kind {
+		case rdf.IRI:
+			blob = append(blob, tagIRI)
+		case rdf.Blank:
+			blob = append(blob, tagBlank)
+		default:
+			switch {
+			case t.Lang != "":
+				blob = append(blob, tagLangLit)
+			case t.Datatype != "":
+				blob = append(blob, tagTypedLit)
+			default:
+				blob = append(blob, tagLiteral)
+			}
+		}
+		blob = binary.AppendUvarint(blob, uint64(len(t.Value)))
+		blob = append(blob, t.Value...)
+		switch {
+		case t.Lang != "":
+			blob = binary.AppendUvarint(blob, uint64(len(t.Lang)))
+			blob = append(blob, t.Lang...)
+		case t.Datatype != "":
+			blob = binary.AppendUvarint(blob, uint64(len(t.Datatype)))
+			blob = append(blob, t.Datatype...)
+		}
+	}
+	return blob
+}
+
+// encodeStats serializes the Freeze-time statistics:
+//
+//	u64 NumTriples · u64 NumEntities · u64 NumPreds · u64 NumLiterals
+//	u32 entry count · entries of {pred u32, count u32, subjects u32, objects u32}
+//
+// Entries are emitted in ascending predicate ID order so images are
+// byte-deterministic for a given store.
+func encodeStats(s *store.Stats) []byte {
+	preds := make([]store.ID, 0, len(s.PredCount))
+	for p := range s.PredCount {
+		preds = append(preds, p)
+	}
+	slices.Sort(preds)
+	b := make([]byte, 0, 36+16*len(preds))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.NumTriples))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.NumEntities))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.NumPreds))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.NumLiterals))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(preds)))
+	for _, p := range preds {
+		b = binary.LittleEndian.AppendUint32(b, uint32(p))
+		b = binary.LittleEndian.AppendUint32(b, uint32(s.PredCount[p]))
+		b = binary.LittleEndian.AppendUint32(b, uint32(s.PredSubjects[p]))
+		b = binary.LittleEndian.AppendUint32(b, uint32(s.PredObjects[p]))
+	}
+	return b
+}

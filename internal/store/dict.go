@@ -8,6 +8,7 @@ package store
 
 import (
 	"fmt"
+	"sync"
 
 	"sparqluo/internal/rdf"
 )
@@ -20,10 +21,18 @@ type ID uint32
 const None ID = 0
 
 // Dict maps RDF terms to dense IDs and back. IDs start at 1; 0 is reserved.
-// The zero value is not usable; call NewDict.
+// The zero value is not usable; call NewDict or NewLoadedDict.
 type Dict struct {
-	ids   map[string]ID
-	terms []rdf.Term // terms[i-1] is the term with ID i
+	ids      map[string]ID
+	terms    []rdf.Term // terms[i-1] is the term with ID i
+	strBytes int64      // running total of term string bytes (see StringBytes)
+
+	// index builds ids lazily for dictionaries reconstructed from a
+	// snapshot (NewLoadedDict), keeping snapshot open time independent
+	// of dictionary size: the map is only materialized when the first
+	// query needs a term→ID lookup. For NewDict dictionaries the map
+	// exists from the start and the Once is a no-op.
+	index sync.Once
 }
 
 // NewDict returns an empty dictionary.
@@ -31,13 +40,48 @@ func NewDict() *Dict {
 	return &Dict{ids: make(map[string]ID)}
 }
 
+// NewLoadedDict returns a dictionary over a prebuilt term slice
+// (terms[i-1] has ID i), as reconstructed from a snapshot image. The
+// key→ID index is built lazily on the first Lookup or Encode; until
+// then the dictionary only supports Decode, which is all the zero-copy
+// load path needs.
+func NewLoadedDict(terms []rdf.Term) *Dict {
+	d := &Dict{terms: terms}
+	for _, t := range terms {
+		d.strBytes += termBytes(t)
+	}
+	return d
+}
+
+func termBytes(t rdf.Term) int64 {
+	return int64(len(t.Value)) + int64(len(t.Lang)) + int64(len(t.Datatype))
+}
+
+// ensureIndex materializes the key→ID map for loaded dictionaries. It
+// is safe for concurrent readers (frozen stores serve Lookup from many
+// goroutines).
+func (d *Dict) ensureIndex() {
+	d.index.Do(func() {
+		if d.ids != nil {
+			return
+		}
+		ids := make(map[string]ID, len(d.terms))
+		for i, t := range d.terms {
+			ids[t.Key()] = ID(i + 1)
+		}
+		d.ids = ids
+	})
+}
+
 // Encode returns the ID for t, assigning a fresh one if t is new.
 func (d *Dict) Encode(t rdf.Term) ID {
+	d.ensureIndex()
 	key := t.Key()
 	if id, ok := d.ids[key]; ok {
 		return id
 	}
 	d.terms = append(d.terms, t)
+	d.strBytes += termBytes(t)
 	id := ID(len(d.terms))
 	d.ids[key] = id
 	return id
@@ -45,6 +89,7 @@ func (d *Dict) Encode(t rdf.Term) ID {
 
 // Lookup returns the ID for t without inserting, and whether it exists.
 func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.ensureIndex()
 	id, ok := d.ids[t.Key()]
 	return id, ok
 }
@@ -60,3 +105,14 @@ func (d *Dict) Decode(id ID) rdf.Term {
 
 // Len returns the number of distinct terms in the dictionary.
 func (d *Dict) Len() int { return len(d.terms) }
+
+// Terms returns the terms in ID order (Terms()[i] has ID i+1). The
+// slice is the dictionary's backing array; callers must not modify it.
+// The snapshot writer is the intended consumer.
+func (d *Dict) Terms() []rdf.Term { return d.terms }
+
+// StringBytes returns the total bytes of term string data (lexical
+// forms, language tags, datatype IRIs) held by the dictionary. The
+// total is maintained incrementally, so this is a constant-time read —
+// endpoints may report it per request.
+func (d *Dict) StringBytes() int64 { return d.strBytes }

@@ -351,7 +351,10 @@ func TestMemStats(t *testing.T) {
 	if m.SPOBytes < floor || m.POSBytes < floor || m.OSPBytes < floor {
 		t.Errorf("permutation sizes below triple-array floor %d: %+v", floor, m)
 	}
-	if m.TotalBytes != m.LogBytes+m.SPOBytes+m.POSBytes+m.OSPBytes {
+	if m.DictBytes <= 0 {
+		t.Errorf("DictBytes should count term string data: %+v", m)
+	}
+	if m.TotalBytes != m.LogBytes+m.SPOBytes+m.POSBytes+m.OSPBytes+m.DictBytes {
 		t.Errorf("TotalBytes inconsistent: %+v", m)
 	}
 	if m.String() == "" {

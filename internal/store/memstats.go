@@ -12,7 +12,8 @@ type MemStats struct {
 	POSBytes   int64 // POS permutation: triples + level-1/level-2 runs + subject column
 	OSPBytes   int64 // OSP permutation: triples + level-1 runs + predicate column
 	DictTerms  int   // distinct terms in the dictionary
-	TotalBytes int64 // log + all permutations (dictionary strings excluded)
+	DictBytes  int64 // term string data held by the dictionary
+	TotalBytes int64 // log + all permutations + dictionary strings
 }
 
 // MemStats returns the current memory footprint. It builds the
@@ -30,16 +31,17 @@ func (st *Store) MemStats() MemStats {
 			int64(len(st.posObjOff))*4 + int64(len(st.posObjIdx))*4,
 		OSPBytes:  st.osp.bytes(),
 		DictTerms: st.dict.Len(),
+		DictBytes: st.dict.StringBytes(),
 	}
-	m.TotalBytes = m.LogBytes + m.SPOBytes + m.POSBytes + m.OSPBytes
+	m.TotalBytes = m.LogBytes + m.SPOBytes + m.POSBytes + m.OSPBytes + m.DictBytes
 	return m
 }
 
 // String renders the footprint as a single human-readable line.
 func (m MemStats) String() string {
-	return fmt.Sprintf("triples=%d log=%s spo=%s pos=%s osp=%s total=%s (dict terms=%d)",
+	return fmt.Sprintf("triples=%d log=%s spo=%s pos=%s osp=%s dict=%s total=%s (dict terms=%d)",
 		m.Triples, fmtBytes(m.LogBytes), fmtBytes(m.SPOBytes), fmtBytes(m.POSBytes),
-		fmtBytes(m.OSPBytes), fmtBytes(m.TotalBytes), m.DictTerms)
+		fmtBytes(m.OSPBytes), fmtBytes(m.DictBytes), fmtBytes(m.TotalBytes), m.DictTerms)
 }
 
 func fmtBytes(n int64) string {

@@ -203,6 +203,70 @@ func New() *Store {
 	return &Store{dict: NewDict()}
 }
 
+// PermLayout is the flat representation of one sorted permutation: the
+// triples in permutation order, the CSR row-pointer array over the
+// dense ID space, and the trailing-component column.
+type PermLayout struct {
+	Tri []EncTriple
+	Off []int32
+	Col []ID
+}
+
+// Layout is the complete columnar layout of a built store — every flat
+// array the read path touches, in a form that can be serialized to (and
+// reconstructed from) an on-disk snapshot image. All slices are views
+// into the store's arrays; callers must treat them as read-only.
+type Layout struct {
+	SPO, POS, OSP PermLayout
+
+	// Level-2 CSR runs of the POS permutation (see Store).
+	PosObjKeys []ID
+	PosObjOff  []int32
+	PosObjIdx  []int32
+}
+
+// Layout exposes the store's columnar arrays, building them first if the
+// ingestion log changed. The snapshot writer is the intended consumer.
+func (st *Store) Layout() Layout {
+	st.ensure()
+	return Layout{
+		SPO:        PermLayout{Tri: st.spo.tri, Off: st.spo.off, Col: st.spo.col},
+		POS:        PermLayout{Tri: st.pos.tri, Off: st.pos.off, Col: st.pos.col},
+		OSP:        PermLayout{Tri: st.osp.tri, Off: st.osp.off, Col: st.osp.col},
+		PosObjKeys: st.posObjKeys,
+		PosObjOff:  st.posObjOff,
+		PosObjIdx:  st.posObjIdx,
+	}
+}
+
+// FromLayout assembles a store over an externally backed layout —
+// typically zero-copy views of a memory-mapped snapshot image — without
+// any sorting or per-triple work. The returned store is frozen (and
+// therefore read-only and safe for concurrent readers) by construction.
+//
+// FromLayout trusts its inputs: the arrays must satisfy the invariants
+// Freeze establishes (sorted permutations of one triple set, consistent
+// row pointers, dense IDs covered by dict). The snapshot loader
+// validates structural invariants and checksums before calling it.
+func FromLayout(dict *Dict, l Layout, stats *Stats) *Store {
+	return &Store{
+		dict:       dict,
+		built:      true,
+		frozen:     true,
+		spo:        perm{tri: l.SPO.Tri, off: l.SPO.Off, col: l.SPO.Col},
+		pos:        perm{tri: l.POS.Tri, off: l.POS.Off, col: l.POS.Col},
+		osp:        perm{tri: l.OSP.Tri, off: l.OSP.Off, col: l.OSP.Col},
+		posObjKeys: l.PosObjKeys,
+		posObjOff:  l.PosObjOff,
+		posObjIdx:  l.PosObjIdx,
+		stats:      stats,
+	}
+}
+
+// Frozen reports whether the store has been made read-only (by Freeze or
+// by snapshot loading).
+func (st *Store) Frozen() bool { return st.frozen }
+
 // Dict exposes the store's term dictionary.
 func (st *Store) Dict() *Dict { return st.dict }
 

@@ -1,0 +1,87 @@
+package sparqluo
+
+import (
+	"fmt"
+	"os"
+
+	"sparqluo/internal/snapshot"
+)
+
+// WriteSnapshot serializes the frozen database as a binary snapshot
+// image at path (written atomically via a temp file + rename). The
+// image can be reopened with OpenSnapshot in time independent of the
+// dataset's parse-and-sort cost — the intended cold-start path for
+// servers and shard spawns. The database must be frozen first.
+//
+// Snapshots are a cache, not an archival format: a build only reads the
+// format version it writes, so regenerate images from the source data
+// after upgrading. See internal/snapshot for the format and its
+// integrity model.
+func (db *DB) WriteSnapshot(path string) error {
+	if db.st.Stats() == nil {
+		return fmt.Errorf("sparqluo: DB must be frozen before writing a snapshot (call Freeze)")
+	}
+	return snapshot.WriteFile(path, db.st)
+}
+
+// OpenSnapshot opens a snapshot image previously produced by
+// WriteSnapshot, memory-mapping it where the platform allows. The
+// returned database is frozen (read-only) by construction and ready
+// for concurrent queries immediately; its indexes are zero-copy views
+// of the mapped file. Call Close when done with it to release the
+// mapping — and not before: results hold term strings that point into
+// the mapped region.
+func OpenSnapshot(path string) (*DB, error) {
+	st, m, err := snapshot.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{st: st, mapping: m}, nil
+}
+
+// IsSnapshot reports whether the file at path is a snapshot image, by
+// its leading magic bytes. Use it to auto-detect snapshot images versus
+// N-Triples text when both are accepted from one flag or config key.
+func IsSnapshot(path string) (bool, error) {
+	return snapshot.Sniff(path)
+}
+
+// OpenFile opens path as either a snapshot image (memory-mapped, see
+// OpenSnapshot) or an N-Triples document (parsed, indexed and frozen),
+// auto-detected by the snapshot magic. The returned database is frozen
+// and ready for concurrent queries; source is "snapshot" or "ntriples",
+// for startup logging. Both CLIs and the server accept data files
+// through this one path.
+func OpenFile(path string) (db *DB, source string, err error) {
+	isSnap, err := IsSnapshot(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if isSnap {
+		db, err = OpenSnapshot(path)
+		if err != nil {
+			return nil, "", err
+		}
+		return db, "snapshot", nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	db = Open()
+	if err := db.Load(f); err != nil {
+		return nil, "", fmt.Errorf("sparqluo: loading %s: %w", path, err)
+	}
+	db.Freeze()
+	return db, "ntriples", nil
+}
+
+// Close releases any file mapping backing the database. It is a no-op
+// (and nil error) for databases built in memory with Open. After Close,
+// the database — and any Results obtained from it — must not be used.
+func (db *DB) Close() error {
+	m := db.mapping
+	db.mapping = nil
+	return m.Close()
+}

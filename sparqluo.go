@@ -47,6 +47,7 @@ import (
 	"sparqluo/internal/core"
 	"sparqluo/internal/exec"
 	"sparqluo/internal/rdf"
+	"sparqluo/internal/snapshot"
 	"sparqluo/internal/sparql"
 	"sparqluo/internal/store"
 )
@@ -95,9 +96,15 @@ func (e Engine) impl() exec.Engine {
 }
 
 // DB is an in-memory RDF database. Load data with Load/Add, call Freeze
-// once, then issue queries concurrently.
+// once, then issue queries concurrently. Alternatively, open a
+// previously written snapshot image with OpenSnapshot for a cold start
+// that skips parsing and index building entirely.
 type DB struct {
 	st *store.Store
+
+	// mapping backs snapshot-opened databases (see OpenSnapshot/Close);
+	// nil for in-memory ones. *snapshot.Mapping is nil-safe to Close.
+	mapping *snapshot.Mapping
 }
 
 // Open returns an empty database.

@@ -1,13 +1,17 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart snapshot-smoke fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve snapshot-smoke fuzz clean
 
 all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
 
+# go vet runs its full default analyzer suite over every package
+# including _test.go files, so the package examples (among them the
+# iter.Seq2 cursor example, ExampleResults_Rows) are part of the gate:
+# iterator/range-func misuse that vet or the compiler can see fails CI.
 vet:
 	$(GO) vet ./...
 
@@ -36,6 +40,15 @@ bench-store:
 # on LUBM-13 (the snapshot subsystem's headline number).
 bench-coldstart:
 	$(GO) test ./internal/bench -run '^$$' -bench 'ColdStart' -benchtime $(BENCHTIME)
+
+# Serving-path comparison on the LUBM-13 repeated-template workload:
+# one-shot Query (parse+build+estimate per call) vs prepared execution,
+# and HTTP QPS with cold parsing vs a warm plan cache vs the direct
+# prepared API. CI runs this with -benchtime=1x as a smoke test; use
+# -benchtime=2s locally for real numbers (recorded in the README's
+# "Serving at scale" section).
+bench-serve:
+	$(GO) test . -run '^$$' -bench 'QueryOneShot|PreparedExec|ServeHTTP' -benchtime $(BENCHTIME)
 
 # End-to-end snapshot smoke: generate one dataset in both
 # representations (N-Triples and snapshot image), run the same UO query

@@ -4,7 +4,8 @@
 //	benchuo -exp table2      # dataset statistics
 //	benchuo -exp table3      # LUBM query statistics
 //	benchuo -exp table4      # DBpedia query statistics
-//	benchuo -exp fig10       # base/TT/CP/full verification
+//	benchuo -exp fig10       # base/TT/CP/full verification (+ parallel and
+//	                         # amortized prepared-execution columns for full)
 //	benchuo -exp fig11       # execution time + join space
 //	benchuo -exp fig12       # scalability of full on LUBM
 //	benchuo -exp fig13       # comparison with LBR

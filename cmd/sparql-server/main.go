@@ -18,6 +18,9 @@
 // -timeout caps each query's wall-clock time (504 on expiry), -max-inflight
 // bounds concurrently evaluating queries (503 when saturated), and
 // -parallelism sizes each query's evaluation worker pool (0 = GOMAXPROCS).
+// -plan-cache sizes the per-server LRU of prepared query plans: repeated
+// queries skip parsing and plan construction, and every response reports
+// X-Plan-Cache: hit|miss.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (0 = none)")
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrently evaluating queries (0 = unlimited)")
 		parallelism = flag.Int("parallelism", 0, "per-query evaluation worker pool size (0 = GOMAXPROCS)")
+		planCache   = flag.Int("plan-cache", 128, "LRU size of the prepared-plan cache (0 = disabled)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -55,9 +59,10 @@ func main() {
 		sparqluo.WithQueryTimeout(*timeout),
 		sparqluo.WithMaxInFlight(*maxInFlight),
 		sparqluo.WithHandlerParallelism(*parallelism),
+		sparqluo.WithPlanCache(*planCache),
 	)
-	log.Printf("listening on %s (source=%s timeout=%v max-inflight=%d parallelism=%d)",
-		*addr, source, *timeout, *maxInFlight, *parallelism)
+	log.Printf("listening on %s (source=%s timeout=%v max-inflight=%d parallelism=%d plan-cache=%d)",
+		*addr, source, *timeout, *maxInFlight, *parallelism, *planCache)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}

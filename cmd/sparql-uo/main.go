@@ -7,6 +7,16 @@
 // accepts either an N-Triples document or a binary snapshot image
 // (written by `datagen -snapshot` or DB.WriteSnapshot), auto-detected
 // by the image magic; snapshots skip parsing and index building.
+//
+// The query is prepared once (parse + BE-tree build) and then executed.
+// -bind substitutes a ground term for a query variable at execution
+// time, turning the query into a template:
+//
+//	sparql-uo -data g.nt -q 'SELECT ?y WHERE { ?x ub:advisor ?y }' \
+//	    -bind 'x=<http://ex.org/Student4>'
+//
+// The value is an IRI in angle brackets or a (quoted or bare) literal.
+// Solutions are streamed with the row cursor rather than materialized.
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"sparqluo"
 )
@@ -28,6 +39,15 @@ func main() {
 		explain   = flag.Bool("explain", false, "print the plan before/after transformation and exit")
 		limit     = flag.Int("limit", 20, "maximum solutions to print (0 = all)")
 	)
+	var binds []sparqluo.Option
+	flag.Func("bind", "execution-time parameter, var=<iri> or var=\"literal\" (repeatable)", func(v string) error {
+		opt, err := parseBind(v)
+		if err != nil {
+			return err
+		}
+		binds = append(binds, opt)
+		return nil
+	})
 	flag.Parse()
 
 	if *dataPath == "" || (*queryPath == "" && *queryText == "") {
@@ -53,9 +73,15 @@ func main() {
 		sparqluo.WithStrategy(parseStrategy(*strategy)),
 		sparqluo.WithEngine(parseEngine(*engine)),
 	}
+	opts = append(opts, binds...)
+
+	prep, err := db.Prepare(text)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *explain {
-		before, after, err := db.Explain(text, opts...)
+		before, after, err := prep.Explain(opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -66,27 +92,50 @@ func main() {
 		return
 	}
 
-	res, err := db.Query(text, opts...)
+	res, err := prep.Exec(opts...)
 	if err != nil {
 		fatal(err)
 	}
+	defer res.Close()
 	fmt.Printf("%d solutions in %v (transform %v, %d transformations, join space %.0f)\n",
 		res.Len(), res.ExecTime(), res.TransformTime(), res.Transformations(), res.JoinSpace())
-	for i, sol := range res.Solutions() {
+	// Print columns in sorted-name order for stable, diffable output.
+	order := make([]int, len(res.Vars()))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return res.Vars()[order[a]] < res.Vars()[order[b]] })
+	for i, row := range res.Rows() {
 		if *limit > 0 && i >= *limit {
 			fmt.Printf("... (%d more)\n", res.Len()-*limit)
 			break
 		}
-		names := make([]string, 0, len(sol))
-		for name := range sol {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Printf("?%s=%s ", name, sol[name])
+		for _, ci := range order {
+			if t, ok := row.Term(ci); ok {
+				fmt.Printf("?%s=%s ", row.Var(ci), t)
+			}
 		}
 		fmt.Println()
 	}
+}
+
+// parseBind turns "var=<iri>", `var="literal"` or "var=bare" into a
+// Bind option.
+func parseBind(v string) (sparqluo.Option, error) {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok || name == "" || val == "" {
+		return nil, fmt.Errorf("want var=value, got %q", v)
+	}
+	var term sparqluo.Term
+	switch {
+	case strings.HasPrefix(val, "<") && strings.HasSuffix(val, ">"):
+		term = sparqluo.NewIRI(val[1 : len(val)-1])
+	case strings.HasPrefix(val, `"`) && strings.HasSuffix(val, `"`) && len(val) >= 2:
+		term = sparqluo.NewLiteral(val[1 : len(val)-1])
+	default:
+		term = sparqluo.NewLiteral(val)
+	}
+	return sparqluo.Bind(name, term), nil
 }
 
 func parseStrategy(s string) sparqluo.Strategy {

@@ -1,0 +1,64 @@
+package sparqluo_test
+
+import (
+	"fmt"
+	"log"
+
+	"sparqluo"
+)
+
+// ExampleResults_Rows demonstrates the streaming cursor: Rows yields
+// (index, Row) pairs without materializing maps, Row.Term reads one
+// column by projection position, and the cursor is closed with a
+// deferred Close. A Results may be iterated exactly once.
+func ExampleResults_Rows() {
+	db := sparqluo.Open()
+	db.AddAll([]sparqluo.Triple{
+		{S: sparqluo.NewIRI("http://e/alice"), P: sparqluo.NewIRI("http://e/name"), O: sparqluo.NewLiteral("Alice")},
+		{S: sparqluo.NewIRI("http://e/bob"), P: sparqluo.NewIRI("http://e/name"), O: sparqluo.NewLiteral("Bob")},
+	})
+	db.Freeze()
+
+	res, err := db.Query(`SELECT ?name WHERE { ?s <http://e/name> ?name }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Close()
+	for i, row := range res.Rows() {
+		if name, ok := row.Term(0); ok {
+			fmt.Printf("%d: %s\n", i, name.Value)
+		}
+	}
+	// Output:
+	// 0: Alice
+	// 1: Bob
+}
+
+// ExamplePrepared demonstrates parse-once/execute-many with a bound
+// parameter: the template is prepared a single time and executed per
+// value of ?s.
+func ExamplePrepared() {
+	db := sparqluo.Open()
+	db.AddAll([]sparqluo.Triple{
+		{S: sparqluo.NewIRI("http://e/alice"), P: sparqluo.NewIRI("http://e/name"), O: sparqluo.NewLiteral("Alice")},
+		{S: sparqluo.NewIRI("http://e/bob"), P: sparqluo.NewIRI("http://e/name"), O: sparqluo.NewLiteral("Bob")},
+	})
+	db.Freeze()
+
+	prep, err := db.Prepare(`SELECT ?name WHERE { ?s <http://e/name> ?name }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, who := range []string{"http://e/bob", "http://e/alice"} {
+		res, err := prep.Exec(sparqluo.Bind("s", sparqluo.NewIRI(who)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sol := range res.Solutions() {
+			fmt.Println(sol["name"].Value)
+		}
+	}
+	// Output:
+	// Bob
+	// Alice
+}

@@ -35,6 +35,13 @@ func main() {
 	db.Freeze()
 	fmt.Printf("synthetic DBpedia-like graph: %d triples\n\n", db.NumTriples())
 
+	// Prepare once: the query is parsed and its BE-tree built a single
+	// time; each strategy below re-executes the same plan.
+	prep, err := db.Prepare(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	strategies := []struct {
 		name string
 		s    sparqluo.Strategy
@@ -46,7 +53,7 @@ func main() {
 	}
 	fmt.Printf("%-6s %10s %12s %12s %8s\n", "strat", "exec", "transform", "join space", "results")
 	for _, st := range strategies {
-		res, err := db.Query(query, sparqluo.WithStrategy(st.s))
+		res, err := prep.Exec(sparqluo.WithStrategy(st.s))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,20 +62,23 @@ func main() {
 			res.JoinSpace(), res.Len())
 	}
 
-	// Show a few answers.
-	res, err := db.Query(query)
+	// Show a few answers, streamed off the row cursor.
+	res, err := prep.Exec()
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer res.Close()
 	fmt.Println("\nsample solutions:")
-	for i, sol := range res.Solutions() {
+	for i, row := range res.Rows() {
 		if i == 5 {
 			break
 		}
+		x, _ := row.Term(0)
+		name, _ := row.Term(1)
 		same := "(no cross-reference)"
-		if t, ok := sol["same"]; ok {
+		if t, ok := row.Term(2); ok {
 			same = t.Value
 		}
-		fmt.Printf("  %-20s %-24q %s\n", sol["x"].Value, sol["name"].Value, same)
+		fmt.Printf("  %-20s %-24q %s\n", x.Value, name.Value, same)
 	}
 }

@@ -55,8 +55,13 @@ func main() {
 }
 
 func show(db *sparqluo.DB, title, query string) {
-	// Use TT so the §6 special-case skip doesn't hide the transformation.
-	before, after, err := db.Explain(query, sparqluo.WithStrategy(sparqluo.TT))
+	// Prepare once; Explain and Exec both reuse the built plan. Use TT
+	// so the §6 special-case skip doesn't hide the transformation.
+	prep, err := db.Prepare(query, sparqluo.WithStrategy(sparqluo.TT))
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, after, err := prep.Explain()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +71,7 @@ func show(db *sparqluo.DB, title, query string) {
 	fmt.Println("after:")
 	fmt.Println(after)
 
-	res, err := db.Query(query, sparqluo.WithStrategy(sparqluo.TT))
+	res, err := prep.Exec()
 	if err != nil {
 		log.Fatal(err)
 	}

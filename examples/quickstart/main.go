@@ -47,13 +47,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer res.Close()
 	fmt.Printf("%d solutions:\n", res.Len())
-	for _, sol := range res.Solutions() {
+	// Stream the rows with the cursor: columns are in projection order
+	// (0 = ?x, 1 = ?name, 2 = ?same), and no map is materialized.
+	for _, row := range res.Rows() {
+		x, _ := row.Term(0)
+		name, _ := row.Term(1)
 		same := "-"
-		if t, ok := sol["same"]; ok {
+		if t, ok := row.Term(2); ok {
 			same = t.String()
 		}
-		fmt.Printf("  %-28s name=%-26s sameAs=%s\n", sol["x"].Value, sol["name"].Value, same)
+		fmt.Printf("  %-28s name=%-26s sameAs=%s\n", x.Value, name.Value, same)
 	}
 
 	fmt.Println("\nexecuted plan:")

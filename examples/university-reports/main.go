@@ -5,6 +5,11 @@
 // even when the optional enrichments are absent, and shows the plan the
 // optimizer chose (candidate pruning carries the single student binding
 // into the nested OPTIONALs).
+//
+// The student is a query parameter: the report query is prepared once
+// (parse + BE-tree build) and executed per student with Bind
+// substituting the email address — the qgen-style templated workload
+// the prepared-query API exists for.
 package main
 
 import (
@@ -15,10 +20,11 @@ import (
 	"sparqluo/internal/lubm"
 )
 
-const query = `
+// The ?email variable is the template parameter, bound per execution.
+const reportTemplate = `
 PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
 SELECT ?dept ?deptname ?prof ?pub WHERE {
-  ?student ub:emailAddress "UndergraduateStudent9@Department2.University0.edu" .
+  ?student ub:emailAddress ?email .
   OPTIONAL { ?student ub:memberOf ?dept . ?dept ub:name ?deptname .
     OPTIONAL { ?pub ub:publicationAuthor ?prof . ?prof ub:worksFor ?dept . } }
 }`
@@ -29,32 +35,46 @@ func main() {
 	db.Freeze()
 	fmt.Printf("LUBM(5): %d triples\n\n", db.NumTriples())
 
-	res, err := db.Query(query)
+	prep, err := db.Prepare(reportTemplate)
 	if err != nil {
 		log.Fatal(err)
-	}
-	fmt.Printf("%d rows (exec %v, %d plan transformations)\n\n",
-		res.Len(), res.ExecTime(), res.Transformations())
-	for i, sol := range res.Solutions() {
-		if i == 10 {
-			fmt.Printf("  ... (%d more)\n", res.Len()-10)
-			break
-		}
-		prof, pub := "-", "-"
-		if t, ok := sol["prof"]; ok {
-			prof = shorten(t.Value)
-		}
-		if t, ok := sol["pub"]; ok {
-			pub = shorten(t.Value)
-		}
-		fmt.Printf("  dept=%-12s prof=%-22s pub=%s\n", sol["deptname"].Value, prof, pub)
 	}
 
-	before, after, err := db.Explain(query)
+	for _, student := range []string{
+		"UndergraduateStudent9@Department2.University0.edu",
+		"UndergraduateStudent3@Department1.University1.edu",
+	} {
+		res, err := prep.Exec(sparqluo.Bind("email", sparqluo.NewLiteral(student)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report for %s\n%d rows (exec %v, %d plan transformations)\n",
+			student, res.Len(), res.ExecTime(), res.Transformations())
+		for i, row := range res.Rows() {
+			if i == 10 {
+				fmt.Printf("  ... (%d more)\n", res.Len()-10)
+				break
+			}
+			deptname, prof, pub := "-", "-", "-"
+			if t, ok := row.Term(1); ok {
+				deptname = t.Value
+			}
+			if t, ok := row.Term(2); ok {
+				prof = shorten(t.Value)
+			}
+			if t, ok := row.Term(3); ok {
+				pub = shorten(t.Value)
+			}
+			fmt.Printf("  dept=%-12s prof=%-22s pub=%s\n", deptname, prof, pub)
+		}
+		fmt.Println()
+	}
+
+	before, after, err := prep.Explain()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nplan before transformation:")
+	fmt.Println("plan before transformation:")
 	fmt.Println(before)
 	fmt.Println("plan after transformation:")
 	fmt.Println(after)

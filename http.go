@@ -15,6 +15,7 @@ type handlerConfig struct {
 	timeout     time.Duration
 	maxInFlight int
 	parallelism int
+	planCache   int
 }
 
 // WithQueryTimeout caps the wall-clock time of each /sparql request
@@ -43,6 +44,17 @@ func WithHandlerParallelism(n int) HandlerOption {
 	return func(c *handlerConfig) { c.parallelism = n }
 }
 
+// WithPlanCache gives the handler an LRU cache of n prepared plans
+// (default: 0, disabled), keyed by normalized query text plus the
+// requested strategy and engine. A cache hit skips parsing and BE-tree
+// construction for the request; every /sparql response then carries an
+// X-Plan-Cache: hit|miss header so cache effectiveness is observable
+// from the client side. Cached plans are immutable and shared safely
+// across concurrent requests.
+func WithPlanCache(n int) HandlerOption {
+	return func(c *handlerConfig) { c.planCache = n }
+}
+
 // NewHandler returns an http.Handler exposing the database as a minimal
 // SPARQL endpoint:
 //
@@ -50,12 +62,15 @@ func WithHandlerParallelism(n int) HandlerOption {
 //	GET  /stats                     dataset statistics and memory footprint
 //	GET  /healthz                   readiness probe (200 once frozen)
 //
-// Query responses use the W3C SPARQL 1.1 Query Results JSON Format. The
-// optional "strategy" parameter selects base|tt|cp|full (default full),
-// "engine" selects wco|binary (default wco), and "timeout" lowers the
-// per-request deadline (a Go duration, capped by WithQueryTimeout).
-// Operational limits are configured with WithQueryTimeout,
-// WithMaxInFlight and WithHandlerParallelism.
+// Query responses use the W3C SPARQL 1.1 Query Results JSON Format,
+// streamed row by row (the handler never materializes the full result).
+// The optional "strategy" parameter selects base|tt|cp|full (default
+// full), "engine" selects wco|binary (default wco), and "timeout"
+// lowers the per-request deadline (a Go duration, capped by
+// WithQueryTimeout). Operational limits are configured with
+// WithQueryTimeout, WithMaxInFlight and WithHandlerParallelism;
+// WithPlanCache adds an LRU of prepared plans so repeated queries skip
+// parse+build (responses then carry an X-Plan-Cache: hit|miss header).
 func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 	cfg := handlerConfig{}
 	for _, o := range opts {
@@ -65,6 +80,10 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 	if cfg.maxInFlight > 0 {
 		inflight = make(chan struct{}, cfg.maxInFlight)
 	}
+	var cache *planCache
+	if cfg.planCache > 0 {
+		cache = newPlanCache(cfg.planCache)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", func(w http.ResponseWriter, r *http.Request) {
 		query := r.FormValue("query")
@@ -72,7 +91,7 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			http.Error(w, "missing query parameter", http.StatusBadRequest)
 			return
 		}
-		opts, err := optionsFromRequest(r)
+		opts, strategy, engine, err := optionsFromRequest(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -82,6 +101,32 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		// Resolve the plan before taking an in-flight slot: a cache hit
+		// skips parse+build entirely, and plan construction is cheap
+		// enough not to count against the evaluation-concurrency budget.
+		var prep *Prepared
+		if cache != nil {
+			key := normalizeQueryText(query) + "\x00" + strategy + "\x00" + engine
+			cached, hit := cache.get(key)
+			if hit {
+				prep = cached
+				w.Header().Set("X-Plan-Cache", "hit")
+			} else {
+				prep, err = db.Prepare(query)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				cache.put(key, prep)
+				w.Header().Set("X-Plan-Cache", "miss")
+			}
+		} else {
+			prep, err = db.Prepare(query)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
 		}
 		if inflight != nil {
 			select {
@@ -99,7 +144,7 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, timeout)
 			defer cancel()
 		}
-		res, err := db.QueryContext(ctx, query, opts...)
+		res, err := prep.ExecContext(ctx, opts...)
 		if err != nil {
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
@@ -112,6 +157,8 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			}
 			return
 		}
+		// WriteJSON streams bindings row by row; the handler never
+		// materializes a []Solution.
 		w.Header().Set("Content-Type", "application/sparql-results+json")
 		if err := res.WriteJSON(w); err != nil {
 			// Headers are already out; nothing more to do.
@@ -165,27 +212,29 @@ func timeoutFromRequest(r *http.Request, max time.Duration) (time.Duration, erro
 	return d, nil
 }
 
-func optionsFromRequest(r *http.Request) ([]Option, error) {
-	var opts []Option
+// optionsFromRequest resolves the strategy/engine form parameters into
+// query options, also returning the normalized parameter names (the
+// plan-cache key components).
+func optionsFromRequest(r *http.Request) (opts []Option, strategy, engine string, err error) {
 	switch s := r.FormValue("strategy"); s {
 	case "", "full":
-		opts = append(opts, WithStrategy(Full))
+		opts, strategy = append(opts, WithStrategy(Full)), "full"
 	case "base":
-		opts = append(opts, WithStrategy(Base))
+		opts, strategy = append(opts, WithStrategy(Base)), "base"
 	case "tt":
-		opts = append(opts, WithStrategy(TT))
+		opts, strategy = append(opts, WithStrategy(TT)), "tt"
 	case "cp":
-		opts = append(opts, WithStrategy(CP))
+		opts, strategy = append(opts, WithStrategy(CP)), "cp"
 	default:
-		return nil, fmt.Errorf("unknown strategy %q", s)
+		return nil, "", "", fmt.Errorf("unknown strategy %q", s)
 	}
 	switch e := r.FormValue("engine"); e {
 	case "", "wco":
-		opts = append(opts, WithEngine(WCO))
+		opts, engine = append(opts, WithEngine(WCO)), "wco"
 	case "binary":
-		opts = append(opts, WithEngine(BinaryJoin))
+		opts, engine = append(opts, WithEngine(BinaryJoin)), "binary"
 	default:
-		return nil, fmt.Errorf("unknown engine %q", e)
+		return nil, "", "", fmt.Errorf("unknown engine %q", e)
 	}
-	return opts, nil
+	return opts, strategy, engine, nil
 }

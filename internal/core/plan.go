@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/exec"
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/sparql"
+	"sparqluo/internal/store"
+)
+
+// Plan is a reusable execution plan: the BE-tree built once from a
+// parsed query against one store's dictionary. A Plan is immutable
+// after construction — ExecPlan clones the tree whenever a strategy
+// needs to rewrite it — so any number of goroutines may execute the
+// same Plan concurrently. This is the parse-once/execute-many split:
+// BuildPlan pays the parse+build cost a single time, ExecPlan pays
+// only the per-execution transform+evaluate cost.
+type Plan struct {
+	Tree *Tree
+	st   *store.Store
+}
+
+// BuildPlan constructs the execution plan of a parsed query against a
+// store: the BE-tree of Definition 8 with triple patterns
+// dictionary-encoded and sibling patterns coalesced into maximal BGPs.
+// The store must be frozen before the plan is executed (statistics
+// drive the cost model).
+func BuildPlan(q *sparql.Query, st *store.Store) (*Plan, error) {
+	tree, err := Build(q, st)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Tree: tree, st: st}, nil
+}
+
+// Store returns the store the plan was built against.
+func (p *Plan) Store() *store.Store { return p.st }
+
+// Clone returns a deep copy of the plan (sharing the store and the
+// immutable variable table).
+func (p *Plan) Clone() *Plan { return &Plan{Tree: p.Tree.Clone(), st: p.st} }
+
+// WarmEstimates memoizes the engine's BGP cardinality/cost estimates
+// into every BGP node of the plan's tree. The sampling estimators are
+// deterministic, so warming precomputes exactly the values a
+// transforming execution would derive on its per-execution clone — the
+// clone inherits the memo and skips re-sampling, which is the dominant
+// per-execution cost of the TT/Full strategies on selective queries.
+// Estimates are engine-specific: warm a dedicated plan copy per engine
+// (see Clone), and do not warm a plan that is concurrently executing.
+func (p *Plan) WarmEstimates(engine exec.Engine) {
+	cm := &costModel{st: p.st, engine: engine}
+	cm.fillEstimates(p.Tree.Root)
+}
+
+// ExecPlan executes a plan with the given strategy and BGP engine,
+// observing ctx for cancellation and fanning evaluation out per opts.
+// The plan is not modified (transforming strategies clone its tree), so
+// concurrent ExecPlan calls on one Plan are safe.
+func ExecPlan(ctx context.Context, p *Plan, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
+	return RunTreeContext(ctx, p.Tree, p.st, engine, strat, opts)
+}
+
+// BoundValue is one parameter binding for Plan.Bind: the dictionary ID
+// the variable is substituted with in the encoded patterns, plus the
+// source term for plan rendering. An ID of store.None (term absent from
+// the dictionary) makes every pattern containing the variable
+// impossible, which correctly yields no matches for that pattern.
+type BoundValue struct {
+	ID   store.ID
+	Term rdf.Term
+}
+
+// Bind returns a copy of the plan with each given variable (by index in
+// the plan's variable table) replaced by a ground term in every triple
+// pattern — the parameter-substitution half of a prepared query. The
+// receiver is unchanged; the copy shares the variable table, so row
+// layouts stay compatible with the original plan.
+func (p *Plan) Bind(vals map[int]BoundValue) *Plan {
+	if len(vals) == 0 {
+		return p
+	}
+	t := p.Tree.Clone()
+	bindNode(t.Root, t.Vars, vals)
+	return &Plan{Tree: t, st: p.st}
+}
+
+func bindNode(n Node, vars *algebra.VarSet, vals map[int]BoundValue) {
+	switch n := n.(type) {
+	case *GroupNode:
+		for _, ch := range n.Children {
+			bindNode(ch, vars, vals)
+		}
+	case *UnionNode:
+		for _, br := range n.Branches {
+			bindNode(br, vars, vals)
+		}
+	case *OptionalNode:
+		bindNode(n.Right, vars, vals)
+	case *BGPNode:
+		changed := false
+		for i := range n.Enc {
+			n.Enc[i].S, changed = bindPos(n.Enc[i].S, vals, changed)
+			n.Enc[i].P, changed = bindPos(n.Enc[i].P, vals, changed)
+			n.Enc[i].O, changed = bindPos(n.Enc[i].O, vals, changed)
+		}
+		if !changed {
+			return
+		}
+		// Keep the display form in sync. Memoized estimates are kept
+		// deliberately: a bound plan is a "generic plan" in the prepared-
+		// statement sense — it reuses the template's statistics rather
+		// than re-sampling per parameter, which would forfeit the
+		// amortization Prepare exists for. Estimates only steer plan
+		// choice (transformations, adaptive pruning thresholds), never
+		// correctness; binding makes patterns at most more selective, so
+		// the template estimate is a sound upper bound.
+		for i := range n.Src {
+			n.Src[i].S = bindTermOrVar(n.Src[i].S, vars, vals)
+			n.Src[i].P = bindTermOrVar(n.Src[i].P, vars, vals)
+			n.Src[i].O = bindTermOrVar(n.Src[i].O, vars, vals)
+		}
+	}
+}
+
+func bindPos(pos exec.Pos, vals map[int]BoundValue, changed bool) (exec.Pos, bool) {
+	if pos.IsVar {
+		if v, ok := vals[pos.Var]; ok {
+			return exec.Const(v.ID), true
+		}
+	}
+	return pos, changed
+}
+
+func bindTermOrVar(tv sparql.TermOrVar, vars *algebra.VarSet, vals map[int]BoundValue) sparql.TermOrVar {
+	if !tv.IsVar {
+		return tv
+	}
+	for idx, v := range vals {
+		if vars.Name(idx) == tv.Var {
+			return sparql.Ground(v.Term)
+		}
+	}
+	return tv
+}

@@ -78,13 +78,16 @@ func Run(q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy) (
 }
 
 // RunContext plans and executes a parsed query, observing ctx for
-// cancellation and fanning evaluation out per opts.
+// cancellation and fanning evaluation out per opts. It is the one-shot
+// composition of BuildPlan and ExecPlan; callers that execute the same
+// query repeatedly should build the plan once and call ExecPlan per
+// execution instead.
 func RunContext(ctx context.Context, q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
-	tree, err := Build(q, st)
+	plan, err := BuildPlan(q, st)
 	if err != nil {
 		return nil, err
 	}
-	return RunTreeContext(ctx, tree, st, engine, strat, opts)
+	return ExecPlan(ctx, plan, engine, strat, opts)
 }
 
 // RunTree executes an already-built BE-tree with the given strategy,

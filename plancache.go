@@ -1,0 +1,121 @@
+package sparqluo
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// planCache is a small mutex-guarded LRU of *Prepared keyed by
+// normalized query text plus the strategy/engine the caller requested.
+// It sits on the HTTP serving path so hot queries skip parsing and plan
+// construction; entries are immutable Prepared values, so a cached plan
+// may be executed by many requests concurrently.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type planCacheEntry struct {
+	key  string
+	prep *Prepared
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached plan for key and whether it was present,
+// promoting the entry to most recently used.
+func (c *planCache) get(key string) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).prep, true
+}
+
+// put inserts a plan, evicting the least recently used entry when full.
+func (c *planCache) put(key string, prep *Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok { // raced with another miss: keep the newer
+		c.ll.MoveToFront(el)
+		el.Value.(*planCacheEntry).prep = prep
+		return
+	}
+	c.m[key] = c.ll.PushFront(&planCacheEntry{key: key, prep: prep})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planCacheEntry).key)
+	}
+}
+
+// len reports the current number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// normalizeQueryText canonicalizes lexically insignificant text so that
+// reformatted copies of one query share a cache entry: runs of blanks
+// outside string literals and IRI references collapse to one space,
+// leading/trailing blanks are dropped, and '#' comments (which the
+// lexer discards up to the newline) are removed along with their
+// terminating newline — crucially, the comment acts as a token
+// separator, so a commented query can never share a key with the
+// uncommented text in which the comment would swallow real tokens.
+// Quoted content is preserved byte-for-byte — whitespace and '#' inside
+// a literal or IRI are significant — so two distinct queries can never
+// normalize to the same key.
+func normalizeQueryText(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	var quote byte   // closing delimiter when inside "..." or <...>
+	pending := false // a space is owed before the next token
+	started := false // a non-space byte has been written
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if quote != 0 {
+			b.WriteByte(c)
+			if c == '\\' && quote == '"' && i+1 < len(s) {
+				i++
+				b.WriteByte(s[i])
+				continue
+			}
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			pending = started
+			continue
+		case '#':
+			for i+1 < len(s) && s[i+1] != '\n' {
+				i++
+			}
+			pending = started
+			continue
+		case '"':
+			quote = '"'
+		case '<':
+			quote = '>'
+		}
+		if pending {
+			b.WriteByte(' ')
+			pending = false
+		}
+		started = true
+		b.WriteByte(c)
+	}
+	return b.String()
+}

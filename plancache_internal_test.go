@@ -1,0 +1,75 @@
+package sparqluo
+
+import "testing"
+
+func TestNormalizeQueryText(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT * WHERE { ?s ?p ?o }", "SELECT * WHERE { ?s ?p ?o }"},
+		{"  SELECT\t*\nWHERE  {\n?s ?p ?o\n}\n", "SELECT * WHERE { ?s ?p ?o }"},
+		// Whitespace inside string literals is significant: two queries
+		// differing only inside quotes must not share a key.
+		{`SELECT * WHERE { ?s ?p "a  b" }`, `SELECT * WHERE { ?s ?p "a  b" }`},
+		{`SELECT * WHERE { ?s ?p "a b" }`, `SELECT * WHERE { ?s ?p "a b" }`},
+		// Escaped quote inside a literal does not end it.
+		{`{ ?s ?p "a\"  b" }  x`, `{ ?s ?p "a\"  b" } x`},
+		// IRI refs are preserved verbatim too.
+		{"{ ?s <http://e/p>   ?o }", "{ ?s <http://e/p> ?o }"},
+		// Comments are lexically insignificant (the lexer discards them
+		// up to the newline) and act as token separators.
+		{"SELECT * # pick all\nWHERE { ?s ?p ?o }", "SELECT * WHERE { ?s ?p ?o }"},
+		{"{ ?x <http://e/p> ?y . # note\n?y <http://e/q> ?z }", "{ ?x <http://e/p> ?y . ?y <http://e/q> ?z }"},
+		// ... but '#' inside an IRI or literal is content, not a comment.
+		{"{ ?s <http://e/p#frag>  ?o }", "{ ?s <http://e/p#frag> ?o }"},
+		{`{ ?s ?p "a # b" }`, `{ ?s ?p "a # b" }`},
+		// A trailing comment with no newline runs to end of text.
+		{"SELECT * WHERE { ?s ?p ?o } # done", "SELECT * WHERE { ?s ?p ?o }"},
+		{"", ""},
+		{"   ", ""},
+	}
+	for _, c := range cases {
+		if got := normalizeQueryText(c.in); got != c.want {
+			t.Errorf("normalizeQueryText(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	a := normalizeQueryText(`SELECT * WHERE { ?s ?p "a  b" }`)
+	b := normalizeQueryText(`SELECT * WHERE { ?s ?p "a b" }`)
+	if a == b {
+		t.Error("literal-content whitespace collapsed: distinct queries share a key")
+	}
+	// A commented multi-line query and its single-line flattening — in
+	// which the comment swallows the trailing tokens — are different
+	// queries and must not share a key.
+	multi := normalizeQueryText("{ ?x <http://e/p> ?y . # note\n?y <http://e/q> ?z }")
+	flat := normalizeQueryText("{ ?x <http://e/p> ?y . # note ?y <http://e/q> ?z }")
+	if multi == flat {
+		t.Error("comment-terminating newline collapsed: distinct queries share a key")
+	}
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := newPlanCache(2)
+	p1, p2, p3 := &Prepared{text: "1"}, &Prepared{text: "2"}, &Prepared{text: "3"}
+	c.put("a", p1)
+	c.put("b", p2)
+	if got, ok := c.get("a"); !ok || got != p1 {
+		t.Fatal("a should be cached")
+	}
+	c.put("c", p3) // evicts b (least recently used; a was just touched)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be cached")
+	}
+	if n := c.len(); n != 2 {
+		t.Errorf("len = %d, want 2", n)
+	}
+	// Double put of one key keeps a single entry.
+	c.put("c", p3)
+	if n := c.len(); n != 2 {
+		t.Errorf("len after duplicate put = %d, want 2", n)
+	}
+}

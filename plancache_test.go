@@ -1,0 +1,137 @@
+package sparqluo_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"sparqluo"
+)
+
+// TestHTTPPlanCache checks the serving-path plan cache end to end: the
+// first request for a query misses (X-Plan-Cache: miss), repeats hit,
+// reformatted copies of the same query share the entry, different
+// strategy/engine parameters get their own entries, and hit responses
+// are byte-identical to miss responses.
+func TestHTTPPlanCache(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db, sparqluo.WithPlanCache(8)))
+	defer srv.Close()
+
+	get := func(t *testing.T, rawQuery string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/sparql?" + rawQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("X-Plan-Cache"), string(body)
+	}
+
+	q := url.QueryEscape(`PREFIX ex: <http://ex.org/> SELECT ?who ?name WHERE { ?who ex:name ?name }`)
+	state, missBody := get(t, "query="+q)
+	if state != "miss" {
+		t.Errorf("first request: X-Plan-Cache = %q, want miss", state)
+	}
+	state, hitBody := get(t, "query="+q)
+	if state != "hit" {
+		t.Errorf("second request: X-Plan-Cache = %q, want hit", state)
+	}
+	if hitBody != missBody {
+		t.Errorf("cache hit served different bytes:\nmiss: %s\nhit:  %s", missBody, hitBody)
+	}
+
+	// Reformatted copy of the same query (whitespace only) must hit.
+	qReformatted := url.QueryEscape("PREFIX ex: <http://ex.org/>\n\tSELECT ?who ?name\n\tWHERE {\n\t\t?who ex:name ?name\n\t}")
+	state, body := get(t, "query="+qReformatted)
+	if state != "hit" {
+		t.Errorf("reformatted query: X-Plan-Cache = %q, want hit", state)
+	}
+	if body != missBody {
+		t.Errorf("reformatted query served different bytes")
+	}
+
+	// Different strategy or engine → separate entries (first time misses).
+	if state, _ := get(t, "strategy=base&query="+q); state != "miss" {
+		t.Errorf("strategy=base: X-Plan-Cache = %q, want miss", state)
+	}
+	if state, _ := get(t, "engine=binary&query="+q); state != "miss" {
+		t.Errorf("engine=binary: X-Plan-Cache = %q, want miss", state)
+	}
+
+	// Without a cache the header is absent entirely.
+	plain := httptest.NewServer(sparqluo.NewHandler(db))
+	defer plain.Close()
+	resp, err := http.Get(plain.URL + "/sparql?query=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Plan-Cache"); got != "" {
+		t.Errorf("cache disabled: X-Plan-Cache = %q, want unset", got)
+	}
+}
+
+// TestHTTPPlanCacheEviction: with capacity 1, a second distinct query
+// evicts the first, which then misses again — the cache is bounded.
+func TestHTTPPlanCacheEviction(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db, sparqluo.WithPlanCache(1)))
+	defer srv.Close()
+
+	state := func(t *testing.T, q string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Plan-Cache")
+	}
+
+	q1 := `PREFIX ex: <http://ex.org/> SELECT ?n WHERE { ?s ex:name ?n }`
+	q2 := `PREFIX ex: <http://ex.org/> SELECT ?a WHERE { ?s ex:age ?a }`
+	if got := state(t, q1); got != "miss" {
+		t.Errorf("q1 first: %q, want miss", got)
+	}
+	if got := state(t, q1); got != "hit" {
+		t.Errorf("q1 second: %q, want hit", got)
+	}
+	if got := state(t, q2); got != "miss" {
+		t.Errorf("q2 first: %q, want miss", got)
+	}
+	if got := state(t, q1); got != "miss" {
+		t.Errorf("q1 after eviction: %q, want miss", got)
+	}
+}
+
+// TestHTTPPlanCacheBadQuery: parse failures must not poison the cache
+// or change the error contract.
+func TestHTTPPlanCacheBadQuery(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db, sparqluo.WithPlanCache(4)))
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape("SELECT garbage"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("attempt %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package sparqluo
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONStringMatchesEncodingJSON differentially checks the
+// zero-allocation string escaper against encoding/json's (HTML-escaping)
+// encoder, byte for byte, over the tricky inputs: quotes, backslashes,
+// control characters, HTML-significant bytes, U+2028/U+2029, multi-byte
+// UTF-8 and invalid UTF-8.
+func TestWriteJSONStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`quote " and backslash \`,
+		"newline\n tab\t cr\r",
+		"control \x00\x01\x1f",
+		"html <b>&amp;</b>",
+		"line sep \u2028 and para sep \u2029",
+		"héllo wörld — ünïcode",
+		"日本語テキスト",
+		"invalid \xff\xfe utf8 \xc3\x28 tail",
+		"mixed \u2028\xffx\u2029",
+		strings.Repeat("a\u2028b\"c", 50),
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		bw := bufio.NewWriter(&sb)
+		writeJSONString(bw, s)
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != string(want) {
+			t.Errorf("escape mismatch for %q:\ngot:  %s\nwant: %s", s, sb.String(), want)
+		}
+	}
+}

@@ -20,35 +20,86 @@
 // TT, CP, Full — Full is the default); the Engine option selects the
 // underlying BGP engine.
 //
+// # Streaming results
+//
+// Results is a single-use cursor. Rows returns an iter.Seq2 over the
+// solution rows without materializing maps; Row.Var and Row.Term read
+// one column of the current row straight off the dictionary-ID row:
+//
+//	res, err := db.Query(`SELECT ?x ?name WHERE { ... }`)
+//	if err != nil { ... }
+//	defer res.Close()
+//	for i, row := range res.Rows() {
+//		if name, ok := row.Term(1); ok {
+//			fmt.Println(i, name.Value)
+//		}
+//	}
+//
+// The cursor may be consumed once: exactly one of Rows, Solutions or
+// WriteJSON may iterate it, and a second iteration yields no rows and
+// records ErrResultsConsumed (retrievable with Err). Solutions is a
+// convenience wrapper over Rows that materializes name→term maps;
+// WriteJSON streams the W3C SPARQL JSON document row by row. Close
+// releases the cursor early and is idempotent. Metadata accessors (Len,
+// Vars, Plan, ExecTime, ...) remain valid after consumption.
+//
+// # Prepared queries
+//
+// For templated or repeated workloads, Prepare parses the query and
+// builds its BE-tree once; each ExecContext call then pays only the
+// per-execution transform+evaluate cost:
+//
+//	p, err := db.Prepare(`SELECT ?y WHERE { ?x ub:advisor ?y }`)
+//	if err != nil { ... }
+//	for _, x := range people {
+//		res, err := p.Exec(sparqluo.Bind("x", x))
+//		...
+//	}
+//
+// Bind substitutes a ground term for a query variable at execution
+// time (qgen-style query templates); the bound value is reported in
+// every solution row, so templates behave like queries with the
+// parameter inlined plus a constant binding.
+//
 // # Concurrency
 //
 // Once Freeze has been called the store is immutable, so any number of
 // goroutines may issue queries against one DB concurrently; all query
-// state lives on the call stack. Each query additionally evaluates
-// sibling UNION branches and OPTIONAL subtrees of its BE-tree in
-// parallel on a bounded worker pool sized by WithParallelism (default
-// GOMAXPROCS; 1 disables intra-query parallelism). Per-branch solution
-// bags and instrumentation are merged in sibling order, so results,
-// solution ordering, and metrics are byte-identical at every
-// parallelism level.
+// state lives on the call stack. A single *Prepared may likewise be
+// executed from any number of goroutines: the built plan is never
+// mutated (transforming strategies clone it per execution). Each query
+// additionally evaluates sibling UNION branches and OPTIONAL subtrees
+// of its BE-tree in parallel on a bounded worker pool sized by
+// WithParallelism (default GOMAXPROCS; 1 disables intra-query
+// parallelism). Per-branch solution bags and instrumentation are merged
+// in sibling order, so results, solution ordering, and metrics are
+// byte-identical at every parallelism level.
 //
 // QueryContext threads a context.Context through the evaluator and both
 // BGP engines: cancelling the context or passing one with a deadline
 // aborts long joins promptly and returns ctx.Err().
+//
+// # Serving at scale
+//
+// The serving path composes these pieces: NewHandler exposes the DB
+// over HTTP with an optional per-handler LRU plan cache
+// (WithPlanCache) that maps normalized query text to a *Prepared, so
+// hot queries skip parsing and plan construction entirely (the
+// X-Plan-Cache response header reports hit or miss), and query
+// responses are streamed with the zero-allocation WriteJSON encoder —
+// the handler never materializes a []Solution. See the README's
+// "Serving at scale" section for the full picture.
 package sparqluo
 
 import (
 	"context"
-	"fmt"
 	"io"
-	"time"
+	"strings"
 
-	"sparqluo/internal/algebra"
 	"sparqluo/internal/core"
 	"sparqluo/internal/exec"
 	"sparqluo/internal/rdf"
 	"sparqluo/internal/snapshot"
-	"sparqluo/internal/sparql"
 	"sparqluo/internal/store"
 )
 
@@ -132,13 +183,18 @@ func (db *DB) NumTriples() int { return db.st.NumTriples() }
 // experiment harness uses it); most callers never need it.
 func (db *DB) Store() *store.Store { return db.st }
 
-// Option configures a Query call.
+// Option configures a Query, Prepare or Exec call.
 type Option func(*queryConfig)
 
 type queryConfig struct {
 	strategy    Strategy
 	engine      Engine
 	parallelism int
+	bindings    map[string]Term
+}
+
+func defaultQueryConfig() queryConfig {
+	return queryConfig{strategy: Full, engine: WCO}
 }
 
 // WithStrategy selects the optimization strategy (default Full).
@@ -159,58 +215,20 @@ func WithParallelism(n int) Option {
 	return func(c *queryConfig) { c.parallelism = n }
 }
 
-// Solution is one query solution: variable name → bound term. Unbound
-// variables (possible under OPTIONAL) are absent from the map.
-type Solution map[string]Term
-
-// Results holds the outcome of a query.
-type Results struct {
-	vars  *algebra.VarSet
-	bag   *algebra.Bag
-	dict  *store.Dict
-	res   *core.Result
-	names []string
-}
-
-// Len returns the number of solutions.
-func (r *Results) Len() int { return r.bag.Len() }
-
-// Vars returns the variable names of the result rows.
-func (r *Results) Vars() []string { return r.names }
-
-// Solutions materializes all solutions as name→term maps.
-func (r *Results) Solutions() []Solution {
-	out := make([]Solution, 0, r.bag.Len())
-	for _, row := range r.bag.Rows {
-		sol := Solution{}
-		for i, name := range r.vars.Names() {
-			if row[i] != store.None {
-				sol[name] = r.dict.Decode(row[i])
-			}
+// Bind substitutes a ground term for the named query variable (with or
+// without the leading "?") at execution time, turning a prepared query
+// into a template: every triple-pattern occurrence of the variable is
+// replaced by the term, and the variable is reported bound to the term
+// in each solution row. Binding a variable the query does not mention
+// is an error; binding a term absent from the data correctly yields no
+// matches for the patterns that mention it.
+func Bind(name string, t Term) Option {
+	return func(c *queryConfig) {
+		if c.bindings == nil {
+			c.bindings = make(map[string]Term)
 		}
-		out = append(out, sol)
+		c.bindings[strings.TrimPrefix(name, "?")] = t
 	}
-	return out
-}
-
-// Plan returns a rendering of the BE-tree that was executed (after any
-// transformations).
-func (r *Results) Plan() string { return r.res.Tree.String() }
-
-// Transformations returns the number of merge/inject transformations the
-// optimizer applied.
-func (r *Results) Transformations() int { return r.res.Transformations }
-
-// ExecTime returns the time spent executing the plan.
-func (r *Results) ExecTime() time.Duration { return r.res.ExecTime }
-
-// TransformTime returns the time spent in plan transformation.
-func (r *Results) TransformTime() time.Duration { return r.res.TransformTime }
-
-// JoinSpace returns the paper's join-space metric for this execution, an
-// indicator of the largest intermediate result materialized.
-func (r *Results) JoinSpace() float64 {
-	return core.JoinSpace(r.res.Tree, r.res.Stats)
 }
 
 // Query parses and executes a SPARQL-UO SELECT query. It is
@@ -223,58 +241,27 @@ func (db *DB) Query(text string, opts ...Option) (*Results, error) {
 // context. Cancelling ctx (or exceeding its deadline) aborts evaluation
 // promptly — including inside the engines' join loops — and returns an
 // error wrapping ctx.Err().
+//
+// Every QueryContext call re-parses and re-plans the text; callers
+// issuing the same query repeatedly should Prepare it once and use
+// ExecContext per execution.
 func (db *DB) QueryContext(ctx context.Context, text string, opts ...Option) (*Results, error) {
-	cfg := queryConfig{strategy: Full, engine: WCO}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if db.st.Stats() == nil {
-		return nil, fmt.Errorf("sparqluo: DB must be frozen before querying (call Freeze)")
-	}
-	q, err := sparql.Parse(text)
+	p, err := db.Prepare(text)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.RunContext(ctx, q, db.st, cfg.engine.impl(), cfg.strategy,
-		core.ExecOptions{Parallelism: cfg.parallelism})
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("sparqluo: query aborted: %w", err)
-		}
-		return nil, err
-	}
-	names := res.Vars.Names()
-	if len(q.Select) > 0 {
-		names = q.Select
-	}
-	return &Results{
-		vars:  res.Vars,
-		bag:   res.Bag,
-		dict:  db.st.Dict(),
-		res:   res,
-		names: names,
-	}, nil
+	return p.ExecContext(ctx, opts...)
 }
 
 // Explain parses the query and returns the BE-tree plan before and after
-// cost-driven transformation, without executing it.
+// cost-driven transformation, without executing it. The transformation
+// is costed with the engine selected by WithEngine (estimated BGP costs
+// differ between the WCO and binary-join engines, so the chosen plan
+// may too).
 func (db *DB) Explain(text string, opts ...Option) (before, after string, err error) {
-	cfg := queryConfig{strategy: Full, engine: WCO}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	q, err := sparql.Parse(text)
+	p, err := db.Prepare(text)
 	if err != nil {
 		return "", "", err
 	}
-	tree, err := core.Build(q, db.st)
-	if err != nil {
-		return "", "", err
-	}
-	before = tree.String()
-	work := tree.Clone()
-	tr := core.NewTransformer(db.st, cfg.engine.impl())
-	tr.SkipWhenEquivalentToCP = cfg.strategy == Full
-	tr.Transform(work)
-	return before, work.String(), nil
+	return p.Explain(opts...)
 }

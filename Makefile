@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve snapshot-smoke fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-json snapshot-smoke fuzz clean
 
 all: vet fmt-check build test
 
@@ -49,6 +49,24 @@ bench-coldstart:
 # "Serving at scale" section).
 bench-serve:
 	$(GO) test . -run '^$$' -bench 'QueryOneShot|PreparedExec|ServeHTTP' -benchtime $(BENCHTIME)
+
+# Join micro-benchmarks: the order-aware merge join vs the hash
+# fallback vs sort+merge on order-compatible operands, plus the arena
+# Distinct. allocs/op is the headline column (merge touches only the
+# output arena). CI runs this with -benchtime=1x as a smoke test; use
+# -benchtime=2s locally for real numbers.
+bench-join:
+	$(GO) test ./internal/algebra -run '^$$' -bench 'Join|Distinct' -benchmem -benchtime $(BENCHTIME)
+
+# Machine-readable bench table: join micro-benchmarks + the Fig10 query
+# workload as JSON, committed per PR (BENCH_<n>.json) so the perf
+# trajectory is diffable across history. The PR number defaults to the
+# CHANGES.md line count (one line per PR — append yours first). CI
+# emits to a scratch path with one repetition as a smoke test.
+BENCHJSON_OUT ?= BENCH_$(shell wc -l < CHANGES.md | tr -d ' ').json
+BENCHJSON_REPS ?= 3
+bench-json:
+	$(GO) run ./cmd/benchjson -reps $(BENCHJSON_REPS) -out $(BENCHJSON_OUT)
 
 # End-to-end snapshot smoke: generate one dataset in both
 # representations (N-Triples and snapshot image), run the same UO query

@@ -1,0 +1,170 @@
+// Command benchjson emits the PR perf-tracking table as machine-readable
+// JSON: the join micro-benchmarks (merge vs hash vs sort+merge physical
+// operators) and the Fig10 query workload (both engines, all strategies,
+// both datasets). The output file is committed per PR (BENCH_5.json,
+// BENCH_6.json, ...) so the perf trajectory of the hot paths is
+// diffable across the repo's history:
+//
+//	benchjson -out BENCH_5.json          # full run
+//	benchjson -reps 1                    # CI smoke (stdout)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/bench"
+	"sparqluo/internal/benchbags"
+	"sparqluo/internal/core"
+)
+
+// Micro is one micro-benchmark record.
+type Micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// WorkloadRow is one (query, engine, strategy) measurement of the Fig10
+// workload.
+type WorkloadRow struct {
+	Query      string  `json:"query"`
+	Dataset    string  `json:"dataset"`
+	Engine     string  `json:"engine"`
+	Strategy   string  `json:"strategy"`
+	Results    int     `json:"results"`
+	ExecMs     float64 `json:"exec_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	PreparedMs float64 `json:"prepared_ms"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Micro    []Micro       `json:"microbench"`
+	Workload []WorkloadRow `json:"workload"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	reps := flag.Int("reps", 3, "repetitions per workload measurement")
+	flag.Parse()
+
+	rep := Report{}
+	rep.Micro = microBench()
+	w, err := workload(*reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Workload = w
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d micro, %d workload rows)\n",
+		*out, len(rep.Micro), len(rep.Workload))
+}
+
+func microBench() []Micro {
+	run := func(name string, f func(b *testing.B)) Micro {
+		r := testing.Benchmark(f)
+		return Micro{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	const n, fanout = 10000, 4
+	return []Micro{
+		run("JoinMerge/n=10000", func(b *testing.B) {
+			x, y := benchbags.JoinPair(n, fanout, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.JoinCancel(x, y, nil)
+			}
+		}),
+		run("JoinHash/n=10000", func(b *testing.B) {
+			x, y := benchbags.JoinPair(n, fanout, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.JoinCancel(x, y, nil)
+			}
+		}),
+		run("JoinSortMerge/n=10000", func(b *testing.B) {
+			x, y := benchbags.JoinPair(n, fanout, true)
+			y.Order = nil
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.JoinCancel(x, y, nil)
+			}
+		}),
+		run("LeftJoinMerge/n=10000", func(b *testing.B) {
+			x, y := benchbags.JoinPair(n, fanout, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.LeftJoinCancel(x, y, nil)
+			}
+		}),
+		run("LeftJoinHash/n=10000", func(b *testing.B) {
+			x, y := benchbags.JoinPair(n, fanout, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.LeftJoinCancel(x, y, nil)
+			}
+		}),
+	}
+}
+
+func workload(reps int) ([]WorkloadRow, error) {
+	bench.Reps = reps
+	var rows []WorkloadRow
+	for _, engine := range bench.Engines {
+		for _, dataset := range []string{"LUBM", "DBpedia"} {
+			st := bench.StoreFor(dataset)
+			for _, q := range bench.Group1(dataset) {
+				for _, strat := range core.Strategies {
+					m, err := bench.RunOne(st, q, engine, strat)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, WorkloadRow{
+						Query:      m.Query,
+						Dataset:    m.Dataset,
+						Engine:     m.Engine,
+						Strategy:   m.Strategy,
+						Results:    m.Results,
+						ExecMs:     ms(m.ExecTime),
+						ParallelMs: ms(m.Parallel),
+						PreparedMs: ms(m.Prepared),
+					})
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

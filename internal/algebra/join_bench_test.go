@@ -1,0 +1,90 @@
+package algebra_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/benchbags"
+	"sparqluo/internal/store"
+)
+
+// BenchmarkJoin contrasts the three physical joins on order-compatible
+// inputs: the streaming merge join the order-aware dispatch picks when
+// both sides are key-sorted, the hash join it falls back to when the
+// sort is not known, and the sort+merge path when only one side carries
+// its order. allocs/op is the headline: the merge path touches only the
+// output arena, while the hash path also builds the key index. The
+// operands come from benchbags so cmd/benchjson measures the same
+// workload.
+func BenchmarkJoin(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, fanout := range []int{1, 4} {
+			tag := fmt.Sprintf("n=%d/fanout=%d", n, fanout)
+			b.Run("merge/"+tag, func(b *testing.B) {
+				x, y := benchbags.JoinPair(n, fanout, true)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					algebra.JoinCancel(x, y, nil)
+				}
+			})
+			b.Run("hash/"+tag, func(b *testing.B) {
+				x, y := benchbags.JoinPair(n, fanout, false)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					algebra.JoinCancel(x, y, nil)
+				}
+			})
+			b.Run("sortmerge/"+tag, func(b *testing.B) {
+				x, y := benchbags.JoinPair(n, fanout, true)
+				y.Order = nil // one side unsorted: dispatch sorts it to merge
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					algebra.JoinCancel(x, y, nil)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLeftJoin mirrors BenchmarkJoin for the OPTIONAL operator.
+func BenchmarkLeftJoin(b *testing.B) {
+	const n, fanout = 10000, 2
+	b.Run("merge", func(b *testing.B) {
+		x, y := benchbags.JoinPair(n, fanout, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			algebra.LeftJoinCancel(x, y, nil)
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		x, y := benchbags.JoinPair(n, fanout, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			algebra.LeftJoinCancel(x, y, nil)
+		}
+	})
+}
+
+// BenchmarkDistinct measures the arena-hashed dedup (no per-row string
+// keys) on a bag with 50% duplicates.
+func BenchmarkDistinct(b *testing.B) {
+	bag := algebra.NewBag(3)
+	bag.Cert.Set(0)
+	bag.Maybe.Set(0)
+	row := make(algebra.Row, 3)
+	for i := 0; i < 10000; i++ {
+		row[0] = store.ID(1 + i/2)
+		bag.Append(row)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algebra.Distinct(bag)
+	}
+}

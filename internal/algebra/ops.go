@@ -1,11 +1,22 @@
 package algebra
 
-import "sparqluo/internal/store"
+import (
+	"slices"
+
+	"sparqluo/internal/store"
+)
 
 // Join computes Ω1 ⋈ Ω2 = {µ1 ∪ µ2 | µ1 ∈ Ω1, µ2 ∈ Ω2, µ1 ∼ µ2} under bag
-// semantics. It hash-partitions the smaller operand on the variables that
-// are certainly bound on both sides and verifies full compatibility on the
-// remaining possibly-shared positions.
+// semantics. The join keys are the variables certainly bound on both
+// sides; full compatibility is verified on the remaining possibly-shared
+// positions. Physical operator choice is order-aware:
+//
+//   - when both operands are sorted by a shared prefix covering the keys
+//     (or can be, by sorting the smaller side), a streaming sort-merge
+//     join runs over the arenas;
+//   - otherwise the smaller side is hash-partitioned on the keys and the
+//     larger side probes it;
+//   - with no certain key, a nested loop verifies compatibility.
 func Join(a, b *Bag) *Bag { return JoinCancel(a, b, nil) }
 
 // joinStopMask batches cancellation probes in the cancellable joins:
@@ -38,25 +49,21 @@ func JoinCancel(a, b *Bag, stop func() bool) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Or(b.Cert)
 	out.Maybe = a.Maybe.Or(b.Maybe)
-	if len(a.Rows) == 0 || len(b.Rows) == 0 {
+	if a.Len() == 0 || b.Len() == 0 {
 		return out
 	}
-	// Keep a as the probe (outer) side, b as the build side; swap so the
-	// smaller side is built.
-	build, probe := b, a
-	if len(a.Rows) < len(b.Rows) {
-		build, probe = a, b
-	}
-	keys := build.Cert.And(probe.Cert).Indices(a.Width)
+	keys := a.Cert.And(b.Cert).Indices(a.Width)
 	verify := verifyPositions(a, b, keys)
 	stopped := batchStop(stop)
 
 	if len(keys) == 0 {
 		// No certain join key: nested loop with compatibility check.
-		for _, ra := range a.Rows {
-			for _, rb := range b.Rows {
-				if Compatible(ra, rb, verify) {
-					out.Append(MergeRows(ra, rb))
+		out.Order = orderPrefixNotIn(a.Order, b.Maybe)
+		for i := 0; i < a.rows; i++ {
+			ra := a.Row(i)
+			for j := 0; j < b.rows; j++ {
+				if Compatible(ra, b.Row(j), verify) {
+					out.AppendMerged(ra, b.Row(j))
 				}
 				if stopped() {
 					return out
@@ -65,30 +72,137 @@ func JoinCancel(a, b *Bag, stop func() bool) *Bag {
 		}
 		return out
 	}
+	if sa, sb, seq, ok := mergePlan(a, b, keys); ok {
+		out.Order = mergedOrder(sa.Order, seq, sb.Maybe)
+		mergeJoin(out, sa, sb, seq, verify, stopped)
+		return out
+	}
+	hashJoin(out, a, b, keys, verify, stopped, hashKey)
+	return out
+}
 
-	idx := buildHash(build, keys)
-	for _, rp := range probe.Rows {
-		for _, rb := range idx[hashKey(rp, keys)] {
-			if Compatible(rp, rb, verify) {
+// mergePlan decides whether an order-aware merge join applies. Both
+// operands sorted by the same key-covering prefix merge directly; when
+// only one side is sorted (or they are sorted by different key
+// sequences), the smaller side is re-sorted to match; a bag of at most
+// one row is trivially sorted by any sequence. Operands are never
+// mutated — re-sorting copies. The returned operands keep the (a, b)
+// orientation of the caller.
+func mergePlan(a, b *Bag, keys []int) (sa, sb *Bag, seq []int, ok bool) {
+	seqA, okA := keyPrefixCovers(a.Order, keys)
+	seqB, okB := keyPrefixCovers(b.Order, keys)
+	wildA, wildB := a.rows <= 1, b.rows <= 1
+	switch {
+	case wildA && wildB:
+		return a, b, keys, true
+	case wildA && okB:
+		return a, b, seqB, true
+	case wildB && okA:
+		return a, b, seqA, true
+	case okA && okB:
+		if slices.Equal(seqA, seqB) {
+			return a, b, seqA, true
+		}
+		if b.rows <= a.rows {
+			return a, SortBy(b, seqA), seqA, true
+		}
+		return SortBy(a, seqB), b, seqB, true
+	case okA:
+		if b.rows <= a.rows {
+			return a, SortBy(b, seqA), seqA, true
+		}
+	case okB:
+		if a.rows <= b.rows {
+			return SortBy(a, seqB), b, seqB, true
+		}
+	}
+	return nil, nil, nil, false
+}
+
+// mergeJoin streams two bags sorted by seq with one synchronized pass:
+// equal-key groups are located by advancing two cursors and their cross
+// product is emitted a-major, preserving (µ1, µ2) orientation. Key
+// equality is established by comparison — no hash, no collisions.
+func mergeJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) {
+	i, j := 0, 0
+	for i < a.rows && j < b.rows {
+		c := compareOn(a.Row(i), b.Row(j), seq)
+		if c != 0 {
+			if c < 0 {
+				i++
+			} else {
+				j++
+			}
+			if stopped() {
+				return
+			}
+			continue
+		}
+		i2, j2 := groupEnd(a, i, seq), groupEnd(b, j, seq)
+		for x := i; x < i2; x++ {
+			rx := a.Row(x)
+			for y := j; y < j2; y++ {
+				if Compatible(rx, b.Row(y), verify) {
+					out.AppendMerged(rx, b.Row(y))
+				}
+				if stopped() {
+					return
+				}
+			}
+		}
+		i, j = i2, j2
+	}
+}
+
+// groupEnd returns the end of the run of rows equal to Row(i) on seq.
+func groupEnd(b *Bag, i int, seq []int) int {
+	r := b.Row(i)
+	j := i + 1
+	for j < b.rows && equalOn(r, b.Row(j), seq) {
+		j++
+	}
+	return j
+}
+
+// hashJoin is the fallback physical join: the smaller side is bucketed
+// by key hash, the larger side probes. Probes verify key equality by
+// comparison — a hash collision on the key columns must not pair rows
+// with different keys — before checking the non-key shared positions.
+func hashJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash keyHashFn) {
+	// Keep a as the probe (outer) side, b as the build side; swap so the
+	// smaller side is built.
+	build, probe := b, a
+	if a.rows < b.rows {
+		build, probe = a, b
+	}
+	// Probe-major emission carries the probe side's order on the slots
+	// the build side cannot overwrite.
+	out.Order = orderPrefixNotIn(probe.Order, build.Maybe)
+	probeIsA := probe == a
+	idx := buildHash(build, keys, hash)
+	for i := 0; i < probe.rows; i++ {
+		rp := probe.Row(i)
+		for _, bi := range idx[hash(rp, keys)] {
+			rb := build.Row(int(bi))
+			if equalOn(rp, rb, keys) && Compatible(rp, rb, verify) {
 				// Preserve (µ1, µ2) orientation: merge a-side first.
-				if probe == a {
-					out.Append(MergeRows(rp, rb))
+				if probeIsA {
+					out.AppendMerged(rp, rb)
 				} else {
-					out.Append(MergeRows(rb, rp))
+					out.AppendMerged(rb, rp)
 				}
 			}
 			// Poll per build-row visit: one skewed hash bucket can hold
 			// most of the build side, so per-probe-row polling would let
 			// a cancelled join run a bucket to completion.
 			if stopped() {
-				return out
+				return
 			}
 		}
 		if stopped() {
-			return out
+			return
 		}
 	}
-	return out
 }
 
 // Union computes Ω1 ∪bag Ω2, concatenating the two bags.
@@ -96,15 +210,17 @@ func Union(a, b *Bag) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.And(b.Cert)
 	out.Maybe = a.Maybe.Or(b.Maybe)
-	if len(a.Rows) == 0 {
+	if a.Len() == 0 {
 		out.Cert = b.Cert.Clone()
+		out.Order = slices.Clone(b.Order)
 	}
-	if len(b.Rows) == 0 {
+	if b.Len() == 0 {
 		out.Cert = a.Cert.Clone()
+		out.Order = slices.Clone(a.Order)
 	}
-	out.Rows = make([]Row, 0, len(a.Rows)+len(b.Rows))
-	out.Rows = append(out.Rows, a.Rows...)
-	out.Rows = append(out.Rows, b.Rows...)
+	out.Grow(a.Len() + b.Len())
+	out.AppendAll(a)
+	out.AppendAll(b)
 	return out
 }
 
@@ -120,25 +236,100 @@ func UnionAll(width int, bags ...*Bag) *Bag {
 	return out
 }
 
-// Diff computes Ω1 \ Ω2 = {µ1 ∈ Ω1 | ∀µ2 ∈ Ω2 : µ1 ≁ µ2}.
+// Diff computes Ω1 \ Ω2 = {µ1 ∈ Ω1 | ∀µ2 ∈ Ω2 : µ1 ≁ µ2}. With certain
+// keys on both sides a compatible µ2 must agree with µ1 on every key, so
+// the scan anti-joins through the same merge/hash machinery as Join; the
+// nested loop remains only for the keyless case. The output is a
+// subsequence of Ω1 and keeps its physical order.
 func Diff(a, b *Bag) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Clone()
 	out.Maybe = a.Maybe.Clone()
-	verify := verifyPositions(a, b, nil)
-	for _, ra := range a.Rows {
+	out.Order = slices.Clone(a.Order)
+	semiScan(out, a, b, false, hashKey)
+	return out
+}
+
+// SemiJoin computes Ω1 ⋉ Ω2: the mappings of Ω1 compatible with at least
+// one mapping of Ω2. It is the pruning primitive of LBR-style evaluation.
+// Like Diff it preserves Ω1's physical order.
+func SemiJoin(a, b *Bag) *Bag {
+	out := NewBag(a.Width)
+	out.Cert = a.Cert.Clone()
+	out.Maybe = a.Maybe.Clone()
+	out.Order = slices.Clone(a.Order)
+	semiScan(out, a, b, true, hashKey)
+	return out
+}
+
+// semiScan appends to out the rows of a that do (keep=true: semijoin) or
+// do not (keep=false: diff) have a compatible partner in b, walking a in
+// physical order. With certain join keys it runs a synchronized merge
+// scan when both sides are sorted by a common key sequence, and a keyed
+// hash probe otherwise; without keys it degrades to the nested loop.
+func semiScan(out *Bag, a, b *Bag, keep bool, hash keyHashFn) {
+	if a.Len() == 0 {
+		return
+	}
+	if b.Len() == 0 {
+		if !keep {
+			out.AppendAll(a)
+		}
+		return
+	}
+	keys := a.Cert.And(b.Cert).Indices(a.Width)
+	verify := verifyPositions(a, b, keys)
+	if len(keys) == 0 {
+		for i := 0; i < a.rows; i++ {
+			ra := a.Row(i)
+			matched := false
+			for j := 0; j < b.rows; j++ {
+				if Compatible(ra, b.Row(j), verify) {
+					matched = true
+					break
+				}
+			}
+			if matched == keep {
+				out.Append(ra)
+			}
+		}
+		return
+	}
+	if seq, ok := MergeJoinableOrders(a.Order, b.Order, keys); ok {
+		j := 0
+		for i := 0; i < a.rows; i++ {
+			ra := a.Row(i)
+			for j < b.rows && compareOn(b.Row(j), ra, seq) < 0 {
+				j++
+			}
+			matched := false
+			for y := j; y < b.rows && equalOn(b.Row(y), ra, seq); y++ {
+				if Compatible(ra, b.Row(y), verify) {
+					matched = true
+					break
+				}
+			}
+			if matched == keep {
+				out.Append(ra)
+			}
+		}
+		return
+	}
+	idx := buildHash(b, keys, hash)
+	for i := 0; i < a.rows; i++ {
+		ra := a.Row(i)
 		matched := false
-		for _, rb := range b.Rows {
-			if Compatible(ra, rb, verify) {
+		for _, bj := range idx[hash(ra, keys)] {
+			rb := b.Row(int(bj))
+			if equalOn(ra, rb, keys) && Compatible(ra, rb, verify) {
 				matched = true
 				break
 			}
 		}
-		if !matched {
+		if matched == keep {
 			out.Append(ra)
 		}
 	}
-	return out
 }
 
 // LeftJoin computes Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 \ Ω2): every left
@@ -148,91 +339,152 @@ func LeftJoin(a, b *Bag) *Bag { return LeftJoinCancel(a, b, nil) }
 
 // LeftJoinCancel is LeftJoin with the cancellation probe of JoinCancel:
 // a true return from stop aborts the fold, yielding a truncated bag for
-// the caller to discard.
+// the caller to discard. Physical operator choice mirrors JoinCancel
+// (merge when orders allow, keyed hash probe, nested loop without keys),
+// except that the left side is always the outer side so unmatched left
+// rows are emitted in place.
 func LeftJoinCancel(a, b *Bag, stop func() bool) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Clone() // right side only certain on matched rows
 	out.Maybe = a.Maybe.Or(b.Maybe)
-	keys := a.Cert.And(b.Cert).Indices(a.Width)
-	verify := verifyPositions(a, b, keys)
-
-	if len(b.Rows) == 0 {
-		out.Rows = append(out.Rows, a.Rows...)
+	if b.Len() == 0 {
+		out.Order = slices.Clone(a.Order)
+		out.AppendAll(a)
 		return out
 	}
-	var idx map[uint64][]Row
-	if len(keys) > 0 {
-		idx = buildHash(b, keys)
+	if a.Len() == 0 {
+		return out
 	}
+	keys := a.Cert.And(b.Cert).Indices(a.Width)
+	verify := verifyPositions(a, b, keys)
 	stopped := batchStop(stop)
-	for _, ra := range a.Rows {
-		candidates := b.Rows
-		if idx != nil {
-			candidates = idx[hashKey(ra, keys)]
-		}
-		matched := false
-		for _, rb := range candidates {
-			if Compatible(ra, rb, verify) {
-				matched = true
-				out.Append(MergeRows(ra, rb))
+	if len(keys) == 0 {
+		out.Order = orderPrefixNotIn(a.Order, b.Maybe)
+		for i := 0; i < a.rows; i++ {
+			ra := a.Row(i)
+			matched := false
+			for j := 0; j < b.rows; j++ {
+				if Compatible(ra, b.Row(j), verify) {
+					matched = true
+					out.AppendMerged(ra, b.Row(j))
+				}
+				if stopped() {
+					return out
+				}
+			}
+			if !matched {
+				out.Append(ra)
 			}
 			if stopped() {
 				return out
+			}
+		}
+		return out
+	}
+	if sa, sb, seq, ok := mergePlan(a, b, keys); ok {
+		out.Order = mergedOrder(sa.Order, seq, sb.Maybe)
+		mergeLeftJoin(out, sa, sb, seq, verify, stopped)
+		return out
+	}
+	hashLeftJoin(out, a, b, keys, verify, stopped, hashKey)
+	return out
+}
+
+// hashLeftJoin is the keyed-probe left outer join: b is bucketed on the
+// keys and every a row probes it, passing through unmatched. Like
+// hashJoin, the probe verifies key equality by comparison.
+func hashLeftJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash keyHashFn) {
+	out.Order = orderPrefixNotIn(a.Order, b.Maybe)
+	idx := buildHash(b, keys, hash)
+	for i := 0; i < a.rows; i++ {
+		ra := a.Row(i)
+		matched := false
+		for _, bj := range idx[hash(ra, keys)] {
+			rb := b.Row(int(bj))
+			if equalOn(ra, rb, keys) && Compatible(ra, rb, verify) {
+				matched = true
+				out.AppendMerged(ra, rb)
+			}
+			if stopped() {
+				return
 			}
 		}
 		if !matched {
 			out.Append(ra)
 		}
 		if stopped() {
-			return out
+			return
 		}
 	}
-	return out
 }
 
-// SemiJoin computes Ω1 ⋉ Ω2: the mappings of Ω1 compatible with at least
-// one mapping of Ω2. It is the pruning primitive of LBR-style evaluation.
-func SemiJoin(a, b *Bag) *Bag {
-	out := NewBag(a.Width)
-	out.Cert = a.Cert.Clone()
-	out.Maybe = a.Maybe.Clone()
-	keys := a.Cert.And(b.Cert).Indices(a.Width)
-	verify := verifyPositions(a, b, keys)
-	var idx map[uint64][]Row
-	if len(keys) > 0 {
-		idx = buildHash(b, keys)
-	}
-	for _, ra := range a.Rows {
-		candidates := b.Rows
-		if idx != nil {
-			candidates = idx[hashKey(ra, keys)]
-		}
-		for _, rb := range candidates {
-			if Compatible(ra, rb, verify) {
-				out.Append(ra)
-				break
+// mergeLeftJoin is the sort-merge left outer join: a single synchronized
+// pass over both sorted operands that emits each left row's matches (or
+// the row itself when none are compatible) in left-major order.
+func mergeLeftJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) {
+	j := 0
+	i := 0
+	for i < a.rows {
+		ra := a.Row(i)
+		for j < b.rows && compareOn(b.Row(j), ra, seq) < 0 {
+			j++
+			if stopped() {
+				return
 			}
 		}
+		if j >= b.rows || compareOn(b.Row(j), ra, seq) > 0 {
+			out.Append(ra)
+			i++
+			if stopped() {
+				return
+			}
+			continue
+		}
+		i2, j2 := groupEnd(a, i, seq), groupEnd(b, j, seq)
+		for x := i; x < i2; x++ {
+			rx := a.Row(x)
+			matched := false
+			for y := j; y < j2; y++ {
+				if Compatible(rx, b.Row(y), verify) {
+					matched = true
+					out.AppendMerged(rx, b.Row(y))
+				}
+				if stopped() {
+					return
+				}
+			}
+			if !matched {
+				out.Append(rx)
+			}
+		}
+		i, j = i2, j2
 	}
-	return out
 }
 
 // verifyPositions returns the variable positions on which two bags may
-// share bindings, excluding the already-hashed key positions.
+// share bindings, excluding the already-keyed positions (key equality is
+// guaranteed separately by merge comparison or hash-probe equality).
 func verifyPositions(a, b *Bag, keys []int) []int {
 	shared := a.Maybe.And(b.Maybe)
 	for _, k := range keys {
-		// Clear key positions: equality is already guaranteed by hashing.
+		// Clear key positions: equality is established by the join itself.
 		shared[k/64] &^= 1 << (uint(k) % 64)
 	}
 	return shared.Indices(a.Width)
 }
 
-func buildHash(b *Bag, keys []int) map[uint64][]Row {
-	idx := make(map[uint64][]Row, len(b.Rows))
-	for _, r := range b.Rows {
-		h := hashKey(r, keys)
-		idx[h] = append(idx[h], r)
+// keyHashFn buckets rows by their key columns. Production call sites
+// pass hashKey; the collision-handling regression tests drive the hash
+// operators with a degenerate constant hash instead, proving the
+// probe-side equality checks keep the results correct regardless.
+type keyHashFn = func(Row, []int) uint64
+
+// buildHash buckets the bag's row indices by key hash.
+func buildHash(b *Bag, keys []int, hash keyHashFn) map[uint64][]int32 {
+	idx := make(map[uint64][]int32, b.rows)
+	for i := 0; i < b.rows; i++ {
+		h := hash(b.Row(i), keys)
+		idx[h] = append(idx[h], int32(i))
 	}
 	return idx
 }
@@ -256,7 +508,9 @@ func hashKey(r Row, keys []int) uint64 {
 }
 
 // Project returns a bag keeping only the given variable positions bound;
-// all other positions are cleared. Used by SELECT projection.
+// all other positions are cleared. Used by SELECT projection. The output
+// arena is one allocation; the physical order survives up to the first
+// dropped sort column.
 func Project(b *Bag, keep []int) *Bag {
 	keepBits := NewBits(b.Width)
 	for _, k := range keep {
@@ -265,29 +519,59 @@ func Project(b *Bag, keep []int) *Bag {
 	out := NewBag(b.Width)
 	out.Cert = b.Cert.And(keepBits)
 	out.Maybe = b.Maybe.And(keepBits)
-	for _, r := range b.Rows {
-		nr := make(Row, b.Width)
-		for _, k := range keep {
-			nr[k] = r[k]
+	for _, p := range b.Order {
+		if !keepBits.Has(p) {
+			break
 		}
-		out.Append(nr)
+		out.Order = append(out.Order, p)
+	}
+	out.data = make([]store.ID, b.rows*b.Width)
+	out.rows = b.rows
+	for i := 0; i < b.rows; i++ {
+		base := i * b.Width
+		for _, k := range keep {
+			out.data[base+k] = b.data[base+k]
+		}
 	}
 	return out
 }
 
-// Distinct removes duplicate mappings, keeping first occurrences.
-func Distinct(b *Bag) *Bag {
+// Distinct removes duplicate mappings, keeping first occurrences. Rows
+// are deduplicated by full-row hash with arena-comparison verification —
+// no per-row key strings are materialized.
+func Distinct(b *Bag) *Bag { return distinctWith(b, hashKey) }
+
+func distinctWith(b *Bag, hash keyHashFn) *Bag {
 	out := NewBag(b.Width)
 	out.Cert = b.Cert.Clone()
 	out.Maybe = b.Maybe.Clone()
-	seen := make(map[string]struct{}, len(b.Rows))
-	for _, r := range b.Rows {
-		k := rowKey(r)
-		if _, ok := seen[k]; ok {
+	out.Order = slices.Clone(b.Order)
+	all := allPositions(b.Width)
+	seen := make(map[uint64][]int32, b.rows)
+	for i := 0; i < b.rows; i++ {
+		r := b.Row(i)
+		h := hash(r, all)
+		dup := false
+		for _, j := range seen[h] {
+			if compareRows(r, b.Row(int(j))) == 0 {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[h] = append(seen[h], int32(i))
 		out.Append(r)
+	}
+	return out
+}
+
+// allPositions returns [0, width).
+func allPositions(width int) []int {
+	out := make([]int, width)
+	for i := range out {
+		out[i] = i
 	}
 	return out
 }
@@ -304,9 +588,9 @@ func BindingsOf(b *Bag, v int) map[store.ID]struct{} {
 // cap < 0 means unlimited.
 func BindingsOfCapped(b *Bag, v int, cap int) map[store.ID]struct{} {
 	set := make(map[store.ID]struct{})
-	for _, r := range b.Rows {
-		if r[v] != store.None {
-			set[r[v]] = struct{}{}
+	for i := 0; i < b.rows; i++ {
+		if id := b.data[i*b.Width+v]; id != store.None {
+			set[id] = struct{}{}
 			if cap >= 0 && len(set) > cap {
 				return nil
 			}

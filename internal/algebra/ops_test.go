@@ -39,8 +39,8 @@ func mkBag(width int, rows ...[]int) *Bag {
 }
 
 func rowsOf(b *Bag) [][]int {
-	out := make([][]int, len(b.Rows))
-	for i, r := range b.Rows {
+	out := make([][]int, b.Len())
+	for i, r := range b.All() {
 		out[i] = make([]int, len(r))
 		for j, v := range r {
 			out[i][j] = int(v)
@@ -61,8 +61,8 @@ func TestCompatible(t *testing.T) {
 		{[]int{3, 2}, []int{1, 2}, false},
 	}
 	for _, tc := range tests {
-		a := mkBag(2, tc.a).Rows[0]
-		b := mkBag(2, tc.b).Rows[0]
+		a := mkBag(2, tc.a).Row(0)
+		b := mkBag(2, tc.b).Row(0)
 		if got := Compatible(a, b, []int{0, 1}); got != tc.want {
 			t.Errorf("Compatible(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
 		}
@@ -172,10 +172,10 @@ func TestSemiJoin(t *testing.T) {
 func TestProjectClearsDropped(t *testing.T) {
 	b := mkBag(3, []int{1, 2, 3})
 	got := Project(b, []int{0, 2})
-	if got.Rows[0][1] != store.None {
+	if got.Row(0)[1] != store.None {
 		t.Error("projection should clear dropped variable")
 	}
-	if got.Rows[0][0] != 1 || got.Rows[0][2] != 3 {
+	if got.Row(0)[0] != 1 || got.Row(0)[2] != 3 {
 		t.Error("projection should keep selected variables")
 	}
 }
@@ -223,8 +223,8 @@ func naiveJoin(a, b *Bag) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Or(b.Cert)
 	out.Maybe = a.Maybe.Or(b.Maybe)
-	for _, ra := range a.Rows {
-		for _, rb := range b.Rows {
+	for _, ra := range a.All() {
+		for _, rb := range b.All() {
 			if naiveCompatible(ra, rb) {
 				out.Append(MergeRows(ra, rb))
 			}
@@ -237,9 +237,9 @@ func naiveLeftJoin(a, b *Bag) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Clone()
 	out.Maybe = a.Maybe.Or(b.Maybe)
-	for _, ra := range a.Rows {
+	for _, ra := range a.All() {
 		matched := false
-		for _, rb := range b.Rows {
+		for _, rb := range b.All() {
 			if naiveCompatible(ra, rb) {
 				matched = true
 				out.Append(MergeRows(ra, rb))
@@ -271,7 +271,7 @@ func randBag(rng *rand.Rand, width int) *Bag {
 		if certMask&(1<<v) != 0 && n > 0 {
 			b.Cert.Set(v)
 		}
-		for _, r := range b.Rows {
+		for _, r := range b.All() {
 			if r[v] != store.None {
 				b.Maybe.Set(v)
 			}
@@ -356,8 +356,8 @@ func TestQuickSemiJoinIsFilter(t *testing.T) {
 		a, b := randBag(rng, 4), randBag(rng, 4)
 		got := SemiJoin(a, b)
 		want := NewBag(a.Width)
-		for _, ra := range a.Rows {
-			for _, rb := range b.Rows {
+		for _, ra := range a.All() {
+			for _, rb := range b.All() {
 				if naiveCompatible(ra, rb) {
 					want.Append(ra)
 					break

@@ -4,22 +4,20 @@
 //
 // A mapping µ : V ⇀ (I ∪ L) is represented as a fixed-width row of
 // dictionary IDs, one slot per query variable, with store.None marking
-// variables outside dom(µ). A bag Ω is a Bag: a slice of rows plus two
-// variable bitsets that operators maintain to pick efficient join keys:
+// variables outside dom(µ). A bag Ω is a Bag: a flat columnar arena of
+// rows (see bag.go) plus two variable bitsets that operators maintain to
+// pick efficient join keys:
 //
 //   - Cert: variables bound in every row of the bag,
 //   - Maybe: variables bound in at least one row.
 //
 // Compatibility (µ1 ∼ µ2) only needs to be verified on Maybe∩Maybe
-// positions; hash-join keys are drawn from Cert∩Cert.
+// positions; join keys are drawn from Cert∩Cert. Bags additionally carry
+// a physical-order property (Order) that the join operators exploit to
+// run streaming sort-merge joins instead of hash joins.
 package algebra
 
-import (
-	"fmt"
-	"sort"
-
-	"sparqluo/internal/store"
-)
+import "sparqluo/internal/store"
 
 // VarSet assigns dense indices to the variables of one query.
 type VarSet struct {
@@ -133,36 +131,9 @@ func (b Bits) Indices(width int) []int {
 }
 
 // Row is one solution mapping: Row[i] is the binding of variable i, or
-// store.None if variable i is outside dom(µ).
+// store.None if variable i is outside dom(µ). Rows handed out by a Bag
+// are views into its arena, valid until the bag is released.
 type Row []store.ID
-
-// Bag is a multiset of mappings over a fixed variable width.
-type Bag struct {
-	Width int
-	Rows  []Row
-	Cert  Bits // variables bound in every row
-	Maybe Bits // variables bound in some row
-}
-
-// NewBag returns an empty bag of the given width with no known bindings.
-func NewBag(width int) *Bag {
-	return &Bag{Width: width, Cert: NewBits(width), Maybe: NewBits(width)}
-}
-
-// Unit returns the bag containing the single empty mapping µ0, the
-// identity of join.
-func Unit(width int) *Bag {
-	b := NewBag(width)
-	b.Rows = []Row{make(Row, width)}
-	return b
-}
-
-// Len returns the number of mappings in the bag.
-func (b *Bag) Len() int { return len(b.Rows) }
-
-// Append adds a row. The caller is responsible for keeping Cert/Maybe
-// consistent; prefer the operator functions.
-func (b *Bag) Append(r Row) { b.Rows = append(b.Rows, r) }
 
 // Compatible reports µ1 ∼ µ2 restricted to the candidate positions.
 func Compatible(a, b Row, positions []int) bool {
@@ -175,7 +146,9 @@ func Compatible(a, b Row, positions []int) bool {
 	return true
 }
 
-// MergeRows returns µ1 ∪ µ2 (assuming compatibility).
+// MergeRows returns µ1 ∪ µ2 (assuming compatibility) as a freshly
+// allocated row. Hot paths use Bag.AppendMerged instead, which writes
+// the merge directly into the bag's arena.
 func MergeRows(a, b Row) Row {
 	out := make(Row, len(a))
 	copy(out, a)
@@ -185,44 +158,4 @@ func MergeRows(a, b Row) Row {
 		}
 	}
 	return out
-}
-
-// String renders the bag for debugging.
-func (b *Bag) String() string {
-	return fmt.Sprintf("Bag(width=%d, rows=%d)", b.Width, len(b.Rows))
-}
-
-// canonical returns a canonical multiset fingerprint of the bag, used by
-// MultisetEqual. Unbound slots canonicalize to 0.
-func (b *Bag) canonical() []string {
-	keys := make([]string, len(b.Rows))
-	for i, r := range b.Rows {
-		keys[i] = rowKey(r)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func rowKey(r Row) string {
-	buf := make([]byte, 0, len(r)*5)
-	for _, id := range r {
-		buf = append(buf,
-			byte(id), byte(id>>8), byte(id>>16), byte(id>>24), '|')
-	}
-	return string(buf)
-}
-
-// MultisetEqual reports whether two bags are equal as multisets of
-// mappings (row order irrelevant, duplicates significant).
-func MultisetEqual(a, b *Bag) bool {
-	if a.Width != b.Width || len(a.Rows) != len(b.Rows) {
-		return false
-	}
-	ka, kb := a.canonical(), b.canonical()
-	for i := range ka {
-		if ka[i] != kb[i] {
-			return false
-		}
-	}
-	return true
 }

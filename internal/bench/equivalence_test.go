@@ -101,10 +101,10 @@ func sameSolutions(a *algebra.Bag, av *algebra.VarSet, b *algebra.Bag, bv *algeb
 		return false
 	}
 	counts := map[string]int{}
-	for _, r := range a.Rows {
+	for _, r := range a.All() {
 		counts[nameKey(r, av)]++
 	}
-	for _, r := range b.Rows {
+	for _, r := range b.All() {
 		counts[nameKey(r, bv)]--
 	}
 	for _, c := range counts {

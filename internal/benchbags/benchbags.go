@@ -1,0 +1,38 @@
+// Package benchbags builds the synthetic join operands shared by the
+// algebra join micro-benchmarks (`make bench-join`) and cmd/benchjson
+// (the committed BENCH_<n>.json), so both report the same workload and
+// their numbers stay comparable.
+package benchbags
+
+import (
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/store"
+)
+
+// JoinPair builds two join operands of n rows each over width 3:
+// column 0 is the certain join key (fanout distinct rows per key on
+// each side), column 1 is an a-side payload, column 2 a b-side payload.
+// Both bags are built key-sorted; ordered selects whether their Order
+// property says so (true → the dispatch merge-joins, false → it hash-
+// joins the same data).
+func JoinPair(n, fanout int, ordered bool) (*algebra.Bag, *algebra.Bag) {
+	mk := func(payload int) *algebra.Bag {
+		b := algebra.NewBag(3)
+		b.Cert.Set(0)
+		b.Maybe.Set(0)
+		b.Cert.Set(payload)
+		b.Maybe.Set(payload)
+		row := make(algebra.Row, 3)
+		for i := 0; i < n; i++ {
+			row[0] = store.ID(1 + i/fanout) // ascending keys, fanout dups
+			row[payload] = store.ID(1 + i)
+			row[3-payload] = store.None
+			b.Append(row)
+		}
+		if ordered {
+			b.Order = []int{0, payload}
+		}
+		return b
+	}
+	return mk(1), mk(2)
+}

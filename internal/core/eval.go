@@ -132,7 +132,8 @@ func EvaluateContext(ctx context.Context, t *Tree, st *store.Store, engine exec.
 	return res, ev.stats, nil
 }
 
-// applySlice implements the OFFSET and LIMIT solution modifiers.
+// applySlice implements the OFFSET and LIMIT solution modifiers as a
+// zero-copy view of the result arena.
 func applySlice(b *algebra.Bag, offset, limit int) *algebra.Bag {
 	if offset <= 0 && limit < 0 {
 		return b
@@ -140,18 +141,14 @@ func applySlice(b *algebra.Bag, offset, limit int) *algebra.Bag {
 	if offset < 0 {
 		offset = 0
 	}
-	if offset > len(b.Rows) {
-		offset = len(b.Rows)
+	if offset > b.Len() {
+		offset = b.Len()
 	}
-	rows := b.Rows[offset:]
-	if limit >= 0 && limit < len(rows) {
-		rows = rows[:limit]
+	end := b.Len()
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
 	}
-	out := algebra.NewBag(b.Width)
-	out.Cert = b.Cert.Clone()
-	out.Maybe = b.Maybe.Clone()
-	out.Rows = rows
-	return out
+	return b.View(offset, end)
 }
 
 // group evaluates a group graph pattern node. incoming carries the

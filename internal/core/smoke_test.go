@@ -133,7 +133,7 @@ SELECT ?x ?same WHERE {
 		}
 		sameIdx, _ := res.Vars.Lookup("same")
 		bound := 0
-		for _, r := range res.Bag.Rows {
+		for _, r := range res.Bag.All() {
 			if r[sameIdx] != store.None {
 				bound++
 			}

@@ -339,7 +339,7 @@ func TestProjectionOfAbsentVariable(t *testing.T) {
 	if !ok {
 		t.Fatal("projected variable should be interned")
 	}
-	for _, r := range res.Bag.Rows {
+	for _, r := range res.Bag.All() {
 		if r[idx] != store.None {
 			t.Fatal("absent variable must stay unbound")
 		}

@@ -56,13 +56,16 @@ func (BinaryJoinEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, w
 	return acc
 }
 
-// scanPattern materializes all matches of a single pattern into a bag.
+// scanPattern materializes all matches of a single pattern into a bag,
+// reporting the physical order the permutation scan produced — the
+// zero-cost "interesting order" the order-aware joins dispatch on.
 func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates, poll *ctxPoll) *algebra.Bag {
 	out := algebra.NewBag(width)
 	for _, v := range pat.Vars() {
 		out.Cert.Set(v)
 		out.Maybe.Set(v)
 	}
+	out.Order = MatchOrder(st, pat, neverBound, cand)
 	seed := make(algebra.Row, width)
 	MatchPattern(st, pat, seed, cand, func(nr algebra.Row) {
 		if poll.stopped {
@@ -73,6 +76,10 @@ func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates, poll 
 	})
 	return out
 }
+
+// neverBound is the bound predicate of a fresh scan: no variable carries
+// a prior binding.
+func neverBound(int) bool { return false }
 
 // EstimateCard implements Engine via the shared sampling estimator over
 // the ascending-size order.
@@ -92,6 +99,11 @@ func (BinaryJoinEngine) EstimateCard(ctx context.Context, st *store.Store, bgp B
 //
 // summed over a left-deep join in ascending scan-size order, using the
 // sampling estimator for the accumulated side.
+//
+// The model is order-aware: a step whose operands share a sorted prefix
+// covering the join keys runs as a streaming merge join at execution
+// time, skipping the hash-build pass over the smaller side, so its cost
+// is min + max instead of 2·min + max.
 func (BinaryJoinEngine) EstimateCost(ctx context.Context, st *store.Store, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 0
@@ -100,14 +112,38 @@ func (BinaryJoinEngine) EstimateCost(ctx context.Context, st *store.Store, bgp B
 	est := newEstimator(st, bgp)
 	cards, _ := est.estimate(ctx, bgp, order)
 	cost := float64(ExactCount(st, bgp[order[0]]))
+	accOrder := MatchOrder(st, bgp[order[0]], neverBound, nil)
+	accVars := map[int]bool{}
+	for _, v := range bgp[order[0]].Vars() {
+		accVars[v] = true
+	}
 	for k := 1; k < len(order); k++ {
+		pat := bgp[order[k]]
 		left := cards[k-1]
-		right := float64(ExactCount(st, bgp[order[k]]))
+		right := float64(ExactCount(st, pat))
 		lo, hi := left, right
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		cost += 2*lo + hi
+		var keys []int
+		for _, v := range pat.Vars() {
+			if accVars[v] {
+				keys = append(keys, v)
+			}
+		}
+		scanOrder := MatchOrder(st, pat, neverBound, nil)
+		if seq, ok := algebra.MergeJoinableOrders(accOrder, scanOrder, keys); ok && len(keys) > 0 {
+			cost += lo + hi // streaming merge: no hash-build pass
+			accOrder = seq
+		} else {
+			cost += 2*lo + hi
+			// A hash join's probe-major output order depends on which
+			// side is larger at run time; claim nothing downstream.
+			accOrder = nil
+		}
+		for _, v := range pat.Vars() {
+			accVars[v] = true
+		}
 	}
 	return cost
 }

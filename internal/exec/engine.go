@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"slices"
 
 	"sparqluo/internal/algebra"
 	"sparqluo/internal/store"
@@ -110,7 +111,8 @@ func (e *estimator) estimate(ctx context.Context, bgp BGP, order []int) (cards [
 				MatchPattern(e.st, pat, r, nil, func(nr algebra.Row) {
 					extended++
 					if len(next) < sampleSize {
-						next = append(next, nr)
+						// nr is MatchPattern's scratch buffer; copy to retain.
+						next = append(next, slices.Clone(nr))
 					}
 				})
 			}
@@ -136,7 +138,8 @@ func (e *estimator) sampleSingle(pat Pattern) []algebra.Row {
 	seed := make(algebra.Row, e.width)
 	MatchPattern(e.st, pat, seed, nil, func(nr algebra.Row) {
 		if len(out) < sampleSize {
-			out = append(out, nr)
+			// nr is MatchPattern's scratch buffer; copy to retain.
+			out = append(out, slices.Clone(nr))
 		}
 	})
 	return out

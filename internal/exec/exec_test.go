@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -71,7 +72,9 @@ func bruteMatches(st *store.Store, pat Pattern, width int) []algebra.Row {
 
 func toBag(width int, rows []algebra.Row) *algebra.Bag {
 	b := algebra.NewBag(width)
-	b.Rows = rows
+	for _, r := range rows {
+		b.Append(r)
+	}
 	return b
 }
 
@@ -86,7 +89,7 @@ func TestQuickMatchPatternMatchesBruteForce(t *testing.T) {
 			pat := randomPattern(rng, st)
 			var got []algebra.Row
 			MatchPattern(st, pat, make(algebra.Row, width), nil, func(r algebra.Row) {
-				got = append(got, r)
+				got = append(got, slices.Clone(r))
 			})
 			want := bruteMatches(st, pat, width)
 			if !algebra.MultisetEqual(toBag(width, got), toBag(width, want)) {
@@ -170,7 +173,7 @@ func TestQuickCandidatesAreExactFilter(t *testing.T) {
 			pruned := engine.EvalBGP(context.Background(), st, bgp, width, cand)
 			plain := engine.EvalBGP(context.Background(), st, bgp, width, nil)
 			want := algebra.NewBag(width)
-			for _, r := range plain.Rows {
+			for _, r := range plain.All() {
 				if _, ok := set[r[v]]; ok {
 					want.Append(r)
 				}

@@ -1,0 +1,89 @@
+package exec
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparqluo/internal/algebra"
+	"sparqluo/internal/store"
+)
+
+// randomCandidates builds a candidate set for up to two variables of the
+// BGP, mirroring the pruning layer's shape.
+func randomCandidates(rng *rand.Rand, st *store.Store, bgp BGP) Candidates {
+	vars := bgp.Vars()
+	if len(vars) == 0 || rng.Intn(2) == 0 {
+		return nil
+	}
+	cand := Candidates{}
+	for k := 0; k < 1+rng.Intn(2); k++ {
+		v := vars[rng.Intn(len(vars))]
+		set := map[store.ID]struct{}{}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			set[store.ID(1+rng.Intn(st.Dict().Len()))] = struct{}{}
+		}
+		cand[v] = set
+	}
+	return cand
+}
+
+// TestQuickMatchOrderSound: the order MatchOrder claims for a fresh scan
+// is an order the emitted rows actually ascend by — with and without
+// candidate sets, across every boundness combination randomPattern
+// produces. This is the contract scanPattern's Order field rests on.
+func TestQuickMatchOrderSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 50+rng.Intn(80))
+		const width = 4
+		for k := 0; k < 8; k++ {
+			pat := randomPattern(rng, st)
+			cand := randomCandidates(rng, st, BGP{pat})
+			bag := algebra.NewBag(width)
+			bag.Order = MatchOrder(st, pat, func(int) bool { return false }, cand)
+			MatchPattern(st, pat, make(algebra.Row, width), cand, func(r algebra.Row) {
+				bag.Append(r)
+			})
+			if !bag.SortedBy(bag.Order) {
+				t.Logf("pattern %+v cand=%v: %d rows not sorted by claimed %v",
+					pat, cand, bag.Len(), bag.Order)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEngineOrderClaimsSound: whatever physical order an engine's
+// EvalBGP result claims, the rows ascend by it. For the WCO engine this
+// exercises the cumulative per-extension-step order; for the binary
+// engine the scan orders carried through the order-aware joins.
+func TestQuickEngineOrderClaimsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStore(rng, 50+rng.Intn(80))
+		const width = 4
+		var bgp BGP
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			bgp = append(bgp, randomPattern(rng, st))
+		}
+		cand := randomCandidates(rng, st, bgp)
+		for _, engine := range []Engine{WCOEngine{}, BinaryJoinEngine{}} {
+			res := engine.EvalBGP(context.Background(), st, bgp, width, cand)
+			if !res.SortedBy(res.Order) {
+				t.Logf("%s: bgp %+v cand=%v: %d rows not sorted by claimed %v",
+					engine.Name(), bgp, cand, res.Len(), res.Order)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

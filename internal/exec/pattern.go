@@ -109,11 +109,11 @@ func resolve(pos Pos, row algebra.Row) (store.ID, bool) {
 	return id, id != store.None
 }
 
-// bindEmit extends row with the given (s,p,o) match of pat, verifying
-// repeated-variable consistency and candidate membership, and calls emit
-// with a fresh row on success.
-func bindEmit(pat Pattern, row algebra.Row, s, p, o store.ID, cand Candidates, emit func(algebra.Row)) {
-	nr := make(algebra.Row, len(row))
+// bindEmit extends row into scratch with the given (s,p,o) match of pat,
+// verifying repeated-variable consistency and candidate membership, and
+// calls emit with scratch on success. scratch is reused across calls.
+func bindEmit(pat Pattern, row, scratch algebra.Row, s, p, o store.ID, cand Candidates, emit func(algebra.Row)) {
+	nr := scratch
 	copy(nr, row)
 	for _, pv := range [3]struct {
 		pos Pos
@@ -139,10 +139,18 @@ func bindEmit(pat Pattern, row algebra.Row, s, p, o store.ID, cand Candidates, e
 
 // MatchPattern enumerates all extensions of row that match pat in st,
 // honoring candidate sets, and calls emit for each extended row.
+//
+// The row passed to emit is a scratch buffer owned by MatchPattern and
+// reused across emissions: consumers that retain it beyond the call must
+// copy it (appending to a Bag copies into the arena already).
+//
+// Matches are emitted in the physical order of the permutation range the
+// pattern reads; MatchOrder reports that order as a variable sequence.
 func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates, emit func(algebra.Row)) {
 	if pat.Impossible() {
 		return
 	}
+	scratch := make(algebra.Row, len(row))
 	s, sb := resolve(pat.S, row)
 	p, pb := resolve(pat.P, row)
 	o, ob := resolve(pat.O, row)
@@ -150,7 +158,7 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 	switch {
 	case sb && pb && ob:
 		if st.Contains(s, p, o) {
-			bindEmit(pat, row, s, p, o, cand, emit)
+			bindEmit(pat, row, scratch, s, p, o, cand, emit)
 		}
 	case sb && pb:
 		objs := st.ObjectsSP(s, p)
@@ -159,30 +167,30 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 		if set := candFor(pat.O, cand); set != nil && len(set) < len(objs) {
 			for _, x := range sortedSet(set) {
 				if st.Contains(s, p, x) {
-					bindEmit(pat, row, s, p, x, cand, emit)
+					bindEmit(pat, row, scratch, s, p, x, cand, emit)
 				}
 			}
 			return
 		}
 		for _, x := range objs {
-			bindEmit(pat, row, s, p, x, cand, emit)
+			bindEmit(pat, row, scratch, s, p, x, cand, emit)
 		}
 	case pb && ob:
 		subs := st.SubjectsPO(p, o)
 		if set := candFor(pat.S, cand); set != nil && len(set) < len(subs) {
 			for _, x := range sortedSet(set) {
 				if st.Contains(x, p, o) {
-					bindEmit(pat, row, x, p, o, cand, emit)
+					bindEmit(pat, row, scratch, x, p, o, cand, emit)
 				}
 			}
 			return
 		}
 		for _, x := range subs {
-			bindEmit(pat, row, x, p, o, cand, emit)
+			bindEmit(pat, row, scratch, x, p, o, cand, emit)
 		}
 	case sb && ob:
 		for _, pp := range st.PredsSO(s, o) {
-			bindEmit(pat, row, s, pp, o, cand, emit)
+			bindEmit(pat, row, scratch, s, pp, o, cand, emit)
 		}
 	case pb:
 		// Only the predicate is bound: a small candidate set on either
@@ -191,7 +199,7 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 		if set := candFor(pat.S, cand); set != nil && len(set) < st.CountP(p) {
 			for _, ss := range sortedSet(set) {
 				for _, x := range st.ObjectsSP(ss, p) {
-					bindEmit(pat, row, ss, p, x, cand, emit)
+					bindEmit(pat, row, scratch, ss, p, x, cand, emit)
 				}
 			}
 			return
@@ -199,25 +207,25 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 		if set := candFor(pat.O, cand); set != nil && len(set) < st.CountP(p) {
 			for _, oo := range sortedSet(set) {
 				for _, ss := range st.SubjectsPO(p, oo) {
-					bindEmit(pat, row, ss, p, oo, cand, emit)
+					bindEmit(pat, row, scratch, ss, p, oo, cand, emit)
 				}
 			}
 			return
 		}
 		for _, t := range st.PredicateTriples(p) {
-			bindEmit(pat, row, t.S, p, t.O, cand, emit)
+			bindEmit(pat, row, scratch, t.S, p, t.O, cand, emit)
 		}
 	case sb:
 		for _, t := range st.SubjectTriples(s) {
-			bindEmit(pat, row, s, t.P, t.O, cand, emit)
+			bindEmit(pat, row, scratch, s, t.P, t.O, cand, emit)
 		}
 	case ob:
 		for _, t := range st.ObjectTriples(o) {
-			bindEmit(pat, row, t.S, t.P, o, cand, emit)
+			bindEmit(pat, row, scratch, t.S, t.P, o, cand, emit)
 		}
 	default:
 		for _, t := range st.Triples() {
-			bindEmit(pat, row, t.S, t.P, t.O, cand, emit)
+			bindEmit(pat, row, scratch, t.S, t.P, t.O, cand, emit)
 		}
 	}
 }
@@ -293,5 +301,80 @@ func ExactCount(st *store.Store, pat Pattern) int {
 		return st.CountO(pat.O.ID)
 	default:
 		return st.NumTriples()
+	}
+}
+
+// MatchOrder reports the physical order of MatchPattern's emissions for
+// one extension step, as the sequence of newly bound variable positions
+// by which the emitted rows ascend lexicographically — the "interesting
+// order" that falls out of the SPO/POS/OSP permutation the scan reads,
+// at zero cost. bound reports whether a variable position already
+// carries a binding in the seed row(s); it must be uniform across the
+// rows MatchPattern will be called with (true for BGP evaluation, where
+// every pattern binds all its variables in every row).
+//
+// The sequence is a sound claim, not a complete one: when the branch
+// MatchPattern takes could differ per seed row (a candidate probe gated
+// on a row-dependent count with a different enumeration order), the
+// divergent tail is dropped. An empty sequence promises nothing.
+func MatchOrder(st *store.Store, pat Pattern, bound func(int) bool, cand Candidates) []int {
+	if pat.Impossible() {
+		return nil
+	}
+	posBound := func(pos Pos) bool { return !pos.IsVar || bound(pos.Var) }
+	sb, pb, ob := posBound(pat.S), posBound(pat.P), posBound(pat.O)
+	// seq collects the distinct, not-yet-bound variables of the given
+	// positions in enumeration order. A repeated variable keeps its first
+	// occurrence: the scan filtered to equal components stays ascending
+	// in the shared variable.
+	seq := func(poss ...Pos) []int {
+		var out []int
+		for _, pos := range poss {
+			if !pos.IsVar || bound(pos.Var) {
+				continue
+			}
+			dup := false
+			for _, v := range out {
+				if v == pos.Var {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, pos.Var)
+			}
+		}
+		return out
+	}
+	switch {
+	case sb && pb && ob:
+		return nil
+	case sb && pb:
+		// Adjacency scan and candidate probe both ascend in O.
+		return seq(pat.O)
+	case pb && ob:
+		return seq(pat.S)
+	case sb && ob:
+		return seq(pat.P)
+	case pb:
+		// A subject-candidate probe flips the (O,S) scan to (S,O). The
+		// branch is chosen per predicate value: with a ground predicate
+		// it is uniform; with a bound predicate variable it can differ
+		// per row, so no order can be claimed.
+		if set := candFor(pat.S, cand); set != nil {
+			if pat.P.IsVar {
+				return nil
+			}
+			if len(set) < st.CountP(pat.P.ID) {
+				return seq(pat.S, pat.O)
+			}
+		}
+		return seq(pat.O, pat.S)
+	case sb:
+		return seq(pat.P, pat.O)
+	case ob:
+		return seq(pat.S, pat.P)
+	default:
+		return seq(pat.S, pat.P, pat.O)
 	}
 }

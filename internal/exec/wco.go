@@ -20,6 +20,13 @@ func (WCOEngine) Name() string { return "wco" }
 // Cancellation is polled between row extensions so that worst-case joins
 // abort promptly; the truncated bag is only observed by callers that
 // ignore ctx.Err().
+//
+// Each level of partial mappings lives in a flat bag arena, and the
+// result reports the physical order that falls out of the extension
+// walk: every step enumerates its index range ascending within each
+// parent row, so the concatenated per-step MatchOrder sequences are a
+// lexicographic sort of the output — the "interesting order" the
+// order-aware joins downstream consume.
 func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
 	out := algebra.NewBag(width)
 	for _, v := range bgp.Vars() {
@@ -27,7 +34,7 @@ func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width in
 		out.Maybe.Set(v)
 	}
 	if len(bgp) == 0 {
-		out.Rows = []algebra.Row{make(algebra.Row, width)}
+		out.TakeRows(algebra.Unit(width))
 		return out
 	}
 	for _, p := range bgp {
@@ -37,16 +44,30 @@ func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width in
 	}
 	order := greedyOrderWithCands(st, bgp, cand)
 	poll := ctxPoll{ctx: ctx}
-	rows := []algebra.Row{make(algebra.Row, width)}
+	rows := algebra.Unit(width)
+	boundVars := make(map[int]bool)
+	bound := func(v int) bool { return boundVars[v] }
+	var ord []int
+	ordValid := true
 	for _, idx := range order {
 		pat := bgp[idx]
-		var next []algebra.Row
-		for _, r := range rows {
-			MatchPattern(st, pat, r, cand, func(nr algebra.Row) {
+		// An order is only claimable while every step so far reported
+		// one: a step with unknown emission order scrambles the suffix.
+		if ordValid {
+			step := MatchOrder(st, pat, bound, cand)
+			if step == nil && len(seqVars(pat, bound)) > 0 {
+				ord, ordValid = nil, false
+			} else {
+				ord = append(ord, step...)
+			}
+		}
+		next := algebra.NewBag(width)
+		for i := 0; i < rows.Len(); i++ {
+			MatchPattern(st, pat, rows.Row(i), cand, func(nr algebra.Row) {
 				if poll.stopped {
 					return // cancelled mid-scan: stop accumulating
 				}
-				next = append(next, nr)
+				next.Append(nr)
 				poll.tick()
 			})
 			if poll.stopped {
@@ -56,12 +77,28 @@ func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width in
 		if poll.done() {
 			return out
 		}
+		for _, v := range pat.Vars() {
+			boundVars[v] = true
+		}
 		rows = next
-		if len(rows) == 0 {
+		if rows.Len() == 0 {
 			return out
 		}
 	}
-	out.Rows = rows
+	out.TakeRows(rows)
+	out.Order = ord
+	return out
+}
+
+// seqVars returns the pattern's variables not yet bound — the variables
+// an extension step newly binds.
+func seqVars(pat Pattern, bound func(int) bool) []int {
+	var out []int
+	for _, v := range pat.Vars() {
+		if !bound(v) {
+			out = append(out, v)
+		}
+	}
 	return out
 }
 

@@ -110,6 +110,7 @@ func (ev *evaluator) patternBag(tp sparql.TriplePattern) *algebra.Bag {
 		out.Cert.Set(v)
 		out.Maybe.Set(v)
 	}
+	out.Order = exec.MatchOrder(ev.st, pat, func(int) bool { return false }, nil)
 	seed := make(algebra.Row, ev.width)
 	exec.MatchPattern(ev.st, pat, seed, nil, func(r algebra.Row) {
 		out.Append(r)

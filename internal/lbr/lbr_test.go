@@ -54,10 +54,10 @@ func TestPropertyLBRMatchesBEtree(t *testing.T) {
 func sameSolutions(t *testing.T, a *core.Result, b *Result) bool {
 	t.Helper()
 	counts := map[string]int{}
-	for _, r := range a.Bag.Rows {
+	for _, r := range a.Bag.All() {
 		counts[keyByName(r, a.Vars)]++
 	}
-	for _, r := range b.Bag.Rows {
+	for _, r := range b.Bag.All() {
 		counts[keyByName(r, b.Vars)]--
 	}
 	for _, c := range counts {
@@ -121,7 +121,7 @@ func TestLBRProjection(t *testing.T) {
 	if !ok {
 		t.Fatal("variable b missing from table")
 	}
-	for _, r := range res.Bag.Rows {
+	for _, r := range res.Bag.All() {
 		if r[bIdx] != store.None {
 			t.Fatal("projection did not clear ?b")
 		}

@@ -98,9 +98,7 @@ func (p *Prepared) ExecContext(ctx context.Context, opts ...Option) (*Results, e
 		if v.ID == store.None {
 			continue
 		}
-		for _, row := range res.Bag.Rows {
-			row[idx] = v.ID
-		}
+		res.Bag.SetColumn(idx, v.ID)
 	}
 	return p.db.newResults(p.q, res), nil
 }

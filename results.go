@@ -104,7 +104,7 @@ func (r *Results) Rows() iter.Seq2[int, Row] {
 		if r.acquire() != nil {
 			return
 		}
-		for i, row := range r.res.Bag.Rows {
+		for i, row := range r.res.Bag.All() {
 			if !yield(i, Row{r: r, row: row}) {
 				return
 			}

@@ -28,7 +28,7 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		writeJSONString(bw, name)
 	}
 	bw.WriteString(`]},"results":{"bindings":[`)
-	for ri, row := range r.res.Bag.Rows {
+	for ri, row := range r.res.Bag.All() {
 		if ri > 0 {
 			bw.WriteByte(',')
 		}

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-json snapshot-smoke fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-json snapshot-smoke fuzz clean
 
 all: vet fmt-check build test
 
@@ -57,6 +57,15 @@ bench-serve:
 # -benchtime=2s locally for real numbers.
 bench-join:
 	$(GO) test ./internal/algebra -run '^$$' -bench 'Join|Distinct' -benchmem -benchtime $(BENCHTIME)
+
+# Top-k / LIMIT push-down micro-family: full stable sort vs bounded-heap
+# top-k, the output-capped streaming merge join, and the LUBM merge-join
+# query with and without a 20-row window. The -run pattern also executes
+# TestLimitPushdownRowsPulled, which asserts the >= 10x rows-pulled
+# reduction the early-termination path exists to deliver. CI runs this
+# with -benchtime=1x as a smoke test; use -benchtime=2s locally.
+bench-topk:
+	$(GO) test ./internal/bench -run 'LimitPushdown' -bench 'TopK' -benchmem -benchtime $(BENCHTIME)
 
 # Machine-readable bench table: join micro-benchmarks + the Fig10 query
 # workload as JSON, committed per PR (BENCH_<n>.json) so the perf

@@ -135,6 +135,35 @@ func microBench() []Micro {
 				algebra.LeftJoinCancel(x, y, nil)
 			}
 		}),
+		// The top-k family (make bench-topk): a full stable sort vs the
+		// bounded heap keeping 20 rows, and the streaming merge join with
+		// and without a 20-row output cap.
+		run("TopKSortFull/n=100000", func(b *testing.B) {
+			in := benchbags.SortInput(100000)
+			keys := []algebra.SortKey{{Col: 0}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.SortByKeys(in, keys)
+			}
+		}),
+		run("TopKHeap/n=100000,k=20", func(b *testing.B) {
+			in := benchbags.SortInput(100000)
+			keys := []algebra.SortKey{{Col: 0}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.TopK(in, keys, 20)
+			}
+		}),
+		run("JoinMergeTop/n=10000,k=20", func(b *testing.B) {
+			x, y := benchbags.JoinPair(n, fanout, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				algebra.JoinWith(x, y, algebra.JoinOpts{Max: 20})
+			}
+		}),
 	}
 }
 

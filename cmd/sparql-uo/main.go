@@ -3,6 +3,11 @@
 //
 //	sparql-uo -data graph.nt -query query.rq [-strategy full] [-engine wco] [-explain] [-limit 20]
 //
+// -top and -offset apply an execution-time pagination window on top of
+// the query text (WithLimit/WithOffset): -top caps how many solutions
+// the engine computes — with early termination, not post-filtering —
+// while -limit only caps how many of them are printed.
+//
 // The query may also be given inline with -q 'SELECT ...'. -data
 // accepts either an N-Triples document or a binary snapshot image
 // (written by `datagen -snapshot` or DB.WriteSnapshot), auto-detected
@@ -38,6 +43,8 @@ func main() {
 		engine    = flag.String("engine", "wco", "wco|binary")
 		explain   = flag.Bool("explain", false, "print the plan before/after transformation and exit")
 		limit     = flag.Int("limit", 20, "maximum solutions to print (0 = all)")
+		top       = flag.Int("top", -1, "execution-time LIMIT: cap computed solutions with early termination (-1 = none)")
+		offset    = flag.Int("offset", 0, "execution-time OFFSET: skip this many solutions before returning rows")
 	)
 	var binds []sparqluo.Option
 	flag.Func("bind", "execution-time parameter, var=<iri> or var=\"literal\" (repeatable)", func(v string) error {
@@ -74,6 +81,12 @@ func main() {
 		sparqluo.WithEngine(parseEngine(*engine)),
 	}
 	opts = append(opts, binds...)
+	if *top >= 0 {
+		opts = append(opts, sparqluo.WithLimit(*top))
+	}
+	if *offset > 0 {
+		opts = append(opts, sparqluo.WithOffset(*offset))
+	}
 
 	prep, err := db.Prepare(text)
 	if err != nil {
@@ -97,8 +110,8 @@ func main() {
 		fatal(err)
 	}
 	defer res.Close()
-	fmt.Printf("%d solutions in %v (transform %v, %d transformations, join space %.0f)\n",
-		res.Len(), res.ExecTime(), res.TransformTime(), res.Transformations(), res.JoinSpace())
+	fmt.Printf("%d solutions in %v (transform %v, %d transformations, join space %.0f, rows pulled %d)\n",
+		res.Len(), res.ExecTime(), res.TransformTime(), res.Transformations(), res.JoinSpace(), res.RowsPulled())
 	// Print columns in sorted-name order for stable, diffable output.
 	order := make([]int, len(res.Vars()))
 	for i := range order {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -67,10 +69,14 @@ func WithPlanCache(n int) HandlerOption {
 // The optional "strategy" parameter selects base|tt|cp|full (default
 // full), "engine" selects wco|binary (default wco), and "timeout"
 // lowers the per-request deadline (a Go duration, capped by
-// WithQueryTimeout). Operational limits are configured with
-// WithQueryTimeout, WithMaxInFlight and WithHandlerParallelism;
-// WithPlanCache adds an LRU of prepared plans so repeated queries skip
-// parse+build (responses then carry an X-Plan-Cache: hit|miss header).
+// WithQueryTimeout). "limit" and "offset" (non-negative integers) apply
+// a per-request pagination window on top of the query text (see
+// WithLimit/WithOffset); because the window is applied at execution
+// time, paginated requests share one plan-cache entry. Operational
+// limits are configured with WithQueryTimeout, WithMaxInFlight and
+// WithHandlerParallelism; WithPlanCache adds an LRU of prepared plans
+// so repeated queries skip parse+build (responses then carry an
+// X-Plan-Cache: hit|miss header).
 func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 	cfg := handlerConfig{}
 	for _, o := range opts {
@@ -150,8 +156,12 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			case errors.Is(err, context.DeadlineExceeded):
 				http.Error(w, "query timed out", http.StatusGatewayTimeout)
 			case errors.Is(err, context.Canceled):
-				// Client went away; nobody is listening for the status.
-				http.Error(w, "query cancelled", http.StatusServiceUnavailable)
+				// The client went away: nobody is listening for a status,
+				// and answering 503 would poison intermediaries that treat
+				// it as backend overload (Retry-After storms against a
+				// healthy server). Log and drop; 503 stays reserved for
+				// the in-flight limiter above.
+				log.Printf("sparqluo: query cancelled by client: %v", err)
 			default:
 				http.Error(w, err.Error(), http.StatusBadRequest)
 			}
@@ -235,6 +245,23 @@ func optionsFromRequest(r *http.Request) (opts []Option, strategy, engine string
 		opts, engine = append(opts, WithEngine(BinaryJoin)), "binary"
 	default:
 		return nil, "", "", fmt.Errorf("unknown engine %q", e)
+	}
+	// The pagination window is applied per execution, never at plan time,
+	// so it deliberately stays out of the plan-cache key: every page of a
+	// query hits the same cached plan.
+	if raw := r.FormValue("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return nil, "", "", fmt.Errorf("invalid limit %q", raw)
+		}
+		opts = append(opts, WithLimit(n))
+	}
+	if raw := r.FormValue("offset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return nil, "", "", fmt.Errorf("invalid offset %q", raw)
+		}
+		opts = append(opts, WithOffset(n))
 	}
 	return opts, strategy, engine, nil
 }

@@ -1,10 +1,12 @@
 package sparqluo_test
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -330,5 +332,91 @@ func TestLimitOffset(t *testing.T) {
 	}
 	if zero.Len() != 0 {
 		t.Errorf("LIMIT 0: got %d", zero.Len())
+	}
+}
+
+// TestHTTPPagination drives the serving-path window: limit/offset form
+// parameters slice the result exactly, share one plan-cache entry
+// across pages, and reject malformed values.
+func TestHTTPPagination(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db, sparqluo.WithPlanCache(8)))
+	defer srv.Close()
+
+	q := url.QueryEscape(`SELECT * WHERE { ?s ?p ?o }`)
+	fetch := func(extra string) (int, string, []map[string]struct {
+		Type  string `json:"type"`
+		Value string `json:"value"`
+	}) {
+		resp, err := http.Get(srv.URL + "/sparql?query=" + q + extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, resp.Header.Get("X-Plan-Cache"), nil
+		}
+		var doc struct {
+			Results struct {
+				Bindings []map[string]struct {
+					Type  string `json:"type"`
+					Value string `json:"value"`
+				} `json:"bindings"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("X-Plan-Cache"), doc.Results.Bindings
+	}
+
+	_, cache0, full := fetch("")
+	if cache0 != "miss" {
+		t.Errorf("first request: X-Plan-Cache = %q, want miss", cache0)
+	}
+	if len(full) < 4 {
+		t.Fatalf("full result has %d rows, need >= 4", len(full))
+	}
+	// Two pages: both must hit the cache entry the full request created —
+	// the window is per-execution, not part of the plan-cache key.
+	_, cache1, page1 := fetch("&limit=2")
+	_, cache2, page2 := fetch("&limit=2&offset=2")
+	if cache1 != "hit" || cache2 != "hit" {
+		t.Errorf("paginated requests: X-Plan-Cache = %q/%q, want hit/hit", cache1, cache2)
+	}
+	if !reflect.DeepEqual(page1, full[:2]) {
+		t.Errorf("page 1 = %v, want %v", page1, full[:2])
+	}
+	if !reflect.DeepEqual(page2, full[2:4]) {
+		t.Errorf("page 2 = %v, want %v", page2, full[2:4])
+	}
+	// An offset past the end is an empty page, not an error.
+	if status, _, rest := fetch("&limit=5&offset=9999"); status != http.StatusOK || len(rest) != 0 {
+		t.Errorf("offset past end: status %d, %d rows", status, len(rest))
+	}
+	for _, bad := range []string{"&limit=-1", "&limit=x", "&offset=-2", "&offset=1.5"} {
+		if status, _, _ := fetch(bad); status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", bad, status)
+		}
+	}
+}
+
+// TestHTTPClientCancelNoResponse: when the client goes away mid-query
+// the handler logs and drops — it must not write a status (in
+// particular not the 503 that is reserved for the overload valve, whose
+// Retry-After would poison intermediaries).
+func TestHTTPClientCancelNoResponse(t *testing.T) {
+	db := openTestDB(t)
+	h := sparqluo.NewHandler(db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when evaluation starts
+	req := httptest.NewRequest("GET", "/sparql?query="+url.QueryEscape(`SELECT * WHERE { ?s ?p ?o }`), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Errorf("cancelled request: wrote status %d body %q, want nothing", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Errorf("cancelled request carries Retry-After %q", ra)
 	}
 }

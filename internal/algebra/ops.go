@@ -17,7 +17,34 @@ import (
 //   - otherwise the smaller side is hash-partitioned on the keys and the
 //     larger side probes it;
 //   - with no certain key, a nested loop verifies compatibility.
-func Join(a, b *Bag) *Bag { return JoinCancel(a, b, nil) }
+func Join(a, b *Bag) *Bag { return JoinWith(a, b, JoinOpts{Max: -1}) }
+
+// JoinOpts configures one JoinWith/LeftJoinWith execution.
+type JoinOpts struct {
+	// Stop is the cancellation probe, polled in batches; nil never stops.
+	Stop func() bool
+	// Max caps the output at its first Max rows. Every physical join path
+	// emits in a deterministic order, so the capped output is exactly the
+	// prefix of the uncapped output — the soundness basis for LIMIT
+	// push-down. Max < 0 means unlimited; 0 yields the empty bag without
+	// touching the operands.
+	Max int
+	// Pulled, when non-nil, accumulates the number of operand rows the
+	// join drew: each cursor advance of a merge join, each build and
+	// probe row of a hash join, each inner-loop visit of a nested loop.
+	// Early termination shows up directly as a smaller count.
+	Pulled *int
+}
+
+// joinLimit is the per-execution state behind JoinOpts: a row budget
+// plus a locally-accumulated pull counter flushed to opts.Pulled once.
+type joinLimit struct {
+	max    int // output rows allowed; -1 unlimited
+	pulled int
+}
+
+// full reports whether the output has reached the cap.
+func (l *joinLimit) full(out *Bag) bool { return out.rows == l.max }
 
 // joinStopMask batches cancellation probes in the cancellable joins:
 // stop is polled once per (joinStopMask+1) inner-loop iterations, keeping
@@ -46,15 +73,25 @@ func never() bool { return false }
 // built so far is returned. Callers own the decision to discard the
 // truncated result.
 func JoinCancel(a, b *Bag, stop func() bool) *Bag {
+	return JoinWith(a, b, JoinOpts{Stop: stop, Max: -1})
+}
+
+// JoinWith is the fully-configurable join: JoinCancel plus an output
+// cap and a pulled-rows counter (see JoinOpts).
+func JoinWith(a, b *Bag, opts JoinOpts) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Or(b.Cert)
 	out.Maybe = a.Maybe.Or(b.Maybe)
-	if a.Len() == 0 || b.Len() == 0 {
+	if a.Len() == 0 || b.Len() == 0 || opts.Max == 0 {
 		return out
 	}
 	keys := a.Cert.And(b.Cert).Indices(a.Width)
 	verify := verifyPositions(a, b, keys)
-	stopped := batchStop(stop)
+	stopped := batchStop(opts.Stop)
+	lim := joinLimit{max: opts.Max}
+	if opts.Pulled != nil {
+		defer func() { *opts.Pulled += lim.pulled }()
+	}
 
 	if len(keys) == 0 {
 		// No certain join key: nested loop with compatibility check.
@@ -62,8 +99,12 @@ func JoinCancel(a, b *Bag, stop func() bool) *Bag {
 		for i := 0; i < a.rows; i++ {
 			ra := a.Row(i)
 			for j := 0; j < b.rows; j++ {
+				lim.pulled++
 				if Compatible(ra, b.Row(j), verify) {
 					out.AppendMerged(ra, b.Row(j))
+					if lim.full(out) {
+						return out
+					}
 				}
 				if stopped() {
 					return out
@@ -74,10 +115,10 @@ func JoinCancel(a, b *Bag, stop func() bool) *Bag {
 	}
 	if sa, sb, seq, ok := mergePlan(a, b, keys); ok {
 		out.Order = mergedOrder(sa.Order, seq, sb.Maybe)
-		mergeJoin(out, sa, sb, seq, verify, stopped)
+		mergeJoin(out, sa, sb, seq, verify, stopped, &lim)
 		return out
 	}
-	hashJoin(out, a, b, keys, verify, stopped, hashKey)
+	hashJoin(out, a, b, keys, verify, stopped, hashKey, &lim)
 	return out
 }
 
@@ -123,7 +164,7 @@ func mergePlan(a, b *Bag, keys []int) (sa, sb *Bag, seq []int, ok bool) {
 // equal-key groups are located by advancing two cursors and their cross
 // product is emitted a-major, preserving (µ1, µ2) orientation. Key
 // equality is established by comparison — no hash, no collisions.
-func mergeJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) {
+func mergeJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool, lim *joinLimit) {
 	i, j := 0, 0
 	for i < a.rows && j < b.rows {
 		c := compareOn(a.Row(i), b.Row(j), seq)
@@ -133,17 +174,23 @@ func mergeJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) {
 			} else {
 				j++
 			}
+			lim.pulled++
 			if stopped() {
 				return
 			}
 			continue
 		}
 		i2, j2 := groupEnd(a, i, seq), groupEnd(b, j, seq)
+		// Each operand row of the two key groups is pulled once.
+		lim.pulled += (i2 - i) + (j2 - j)
 		for x := i; x < i2; x++ {
 			rx := a.Row(x)
 			for y := j; y < j2; y++ {
 				if Compatible(rx, b.Row(y), verify) {
 					out.AppendMerged(rx, b.Row(y))
+					if lim.full(out) {
+						return
+					}
 				}
 				if stopped() {
 					return
@@ -168,7 +215,7 @@ func groupEnd(b *Bag, i int, seq []int) int {
 // by key hash, the larger side probes. Probes verify key equality by
 // comparison — a hash collision on the key columns must not pair rows
 // with different keys — before checking the non-key shared positions.
-func hashJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash keyHashFn) {
+func hashJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash keyHashFn, lim *joinLimit) {
 	// Keep a as the probe (outer) side, b as the build side; swap so the
 	// smaller side is built.
 	build, probe := b, a
@@ -180,8 +227,10 @@ func hashJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash
 	out.Order = orderPrefixNotIn(probe.Order, build.Maybe)
 	probeIsA := probe == a
 	idx := buildHash(build, keys, hash)
+	lim.pulled += build.rows // the build pass reads every build row
 	for i := 0; i < probe.rows; i++ {
 		rp := probe.Row(i)
+		lim.pulled++
 		for _, bi := range idx[hash(rp, keys)] {
 			rb := build.Row(int(bi))
 			if equalOn(rp, rb, keys) && Compatible(rp, rb, verify) {
@@ -190,6 +239,9 @@ func hashJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash
 					out.AppendMerged(rp, rb)
 				} else {
 					out.AppendMerged(rb, rp)
+				}
+				if lim.full(out) {
+					return
 				}
 			}
 			// Poll per build-row visit: one skewed hash bucket can hold
@@ -339,16 +391,37 @@ func LeftJoin(a, b *Bag) *Bag { return LeftJoinCancel(a, b, nil) }
 
 // LeftJoinCancel is LeftJoin with the cancellation probe of JoinCancel:
 // a true return from stop aborts the fold, yielding a truncated bag for
-// the caller to discard. Physical operator choice mirrors JoinCancel
-// (merge when orders allow, keyed hash probe, nested loop without keys),
-// except that the left side is always the outer side so unmatched left
-// rows are emitted in place.
+// the caller to discard.
 func LeftJoinCancel(a, b *Bag, stop func() bool) *Bag {
+	return LeftJoinWith(a, b, JoinOpts{Stop: stop, Max: -1})
+}
+
+// LeftJoinWith is the fully-configurable left outer join: LeftJoinCancel
+// plus the output cap and pulled-rows counter of JoinOpts. Physical
+// operator choice mirrors JoinWith (merge when orders allow, keyed hash
+// probe, nested loop without keys), except that the left side is always
+// the outer side so unmatched left rows are emitted in place — which
+// keeps emission deterministic and makes the capped output an exact
+// prefix here too.
+func LeftJoinWith(a, b *Bag, opts JoinOpts) *Bag {
 	out := NewBag(a.Width)
 	out.Cert = a.Cert.Clone() // right side only certain on matched rows
 	out.Maybe = a.Maybe.Or(b.Maybe)
+	if opts.Max == 0 {
+		return out
+	}
+	lim := joinLimit{max: opts.Max}
+	if opts.Pulled != nil {
+		defer func() { *opts.Pulled += lim.pulled }()
+	}
 	if b.Len() == 0 {
 		out.Order = slices.Clone(a.Order)
+		if lim.max >= 0 && lim.max < a.Len() {
+			lim.pulled += lim.max
+			out.AppendAll(a.View(0, lim.max))
+			return out
+		}
+		lim.pulled += a.Len()
 		out.AppendAll(a)
 		return out
 	}
@@ -357,16 +430,20 @@ func LeftJoinCancel(a, b *Bag, stop func() bool) *Bag {
 	}
 	keys := a.Cert.And(b.Cert).Indices(a.Width)
 	verify := verifyPositions(a, b, keys)
-	stopped := batchStop(stop)
+	stopped := batchStop(opts.Stop)
 	if len(keys) == 0 {
 		out.Order = orderPrefixNotIn(a.Order, b.Maybe)
 		for i := 0; i < a.rows; i++ {
 			ra := a.Row(i)
 			matched := false
 			for j := 0; j < b.rows; j++ {
+				lim.pulled++
 				if Compatible(ra, b.Row(j), verify) {
 					matched = true
 					out.AppendMerged(ra, b.Row(j))
+					if lim.full(out) {
+						return out
+					}
 				}
 				if stopped() {
 					return out
@@ -374,6 +451,9 @@ func LeftJoinCancel(a, b *Bag, stop func() bool) *Bag {
 			}
 			if !matched {
 				out.Append(ra)
+				if lim.full(out) {
+					return out
+				}
 			}
 			if stopped() {
 				return out
@@ -383,27 +463,32 @@ func LeftJoinCancel(a, b *Bag, stop func() bool) *Bag {
 	}
 	if sa, sb, seq, ok := mergePlan(a, b, keys); ok {
 		out.Order = mergedOrder(sa.Order, seq, sb.Maybe)
-		mergeLeftJoin(out, sa, sb, seq, verify, stopped)
+		mergeLeftJoin(out, sa, sb, seq, verify, stopped, &lim)
 		return out
 	}
-	hashLeftJoin(out, a, b, keys, verify, stopped, hashKey)
+	hashLeftJoin(out, a, b, keys, verify, stopped, hashKey, &lim)
 	return out
 }
 
 // hashLeftJoin is the keyed-probe left outer join: b is bucketed on the
 // keys and every a row probes it, passing through unmatched. Like
 // hashJoin, the probe verifies key equality by comparison.
-func hashLeftJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash keyHashFn) {
+func hashLeftJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, hash keyHashFn, lim *joinLimit) {
 	out.Order = orderPrefixNotIn(a.Order, b.Maybe)
 	idx := buildHash(b, keys, hash)
+	lim.pulled += b.rows // the build pass reads every build row
 	for i := 0; i < a.rows; i++ {
 		ra := a.Row(i)
+		lim.pulled++
 		matched := false
 		for _, bj := range idx[hash(ra, keys)] {
 			rb := b.Row(int(bj))
 			if equalOn(ra, rb, keys) && Compatible(ra, rb, verify) {
 				matched = true
 				out.AppendMerged(ra, rb)
+				if lim.full(out) {
+					return
+				}
 			}
 			if stopped() {
 				return
@@ -411,6 +496,9 @@ func hashLeftJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, 
 		}
 		if !matched {
 			out.Append(ra)
+			if lim.full(out) {
+				return
+			}
 		}
 		if stopped() {
 			return
@@ -421,13 +509,14 @@ func hashLeftJoin(out *Bag, a, b *Bag, keys, verify []int, stopped func() bool, 
 // mergeLeftJoin is the sort-merge left outer join: a single synchronized
 // pass over both sorted operands that emits each left row's matches (or
 // the row itself when none are compatible) in left-major order.
-func mergeLeftJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) {
+func mergeLeftJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool, lim *joinLimit) {
 	j := 0
 	i := 0
 	for i < a.rows {
 		ra := a.Row(i)
 		for j < b.rows && compareOn(b.Row(j), ra, seq) < 0 {
 			j++
+			lim.pulled++
 			if stopped() {
 				return
 			}
@@ -435,12 +524,17 @@ func mergeLeftJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) 
 		if j >= b.rows || compareOn(b.Row(j), ra, seq) > 0 {
 			out.Append(ra)
 			i++
+			lim.pulled++
+			if lim.full(out) {
+				return
+			}
 			if stopped() {
 				return
 			}
 			continue
 		}
 		i2, j2 := groupEnd(a, i, seq), groupEnd(b, j, seq)
+		lim.pulled += (i2 - i) + (j2 - j)
 		for x := i; x < i2; x++ {
 			rx := a.Row(x)
 			matched := false
@@ -448,6 +542,9 @@ func mergeLeftJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) 
 				if Compatible(rx, b.Row(y), verify) {
 					matched = true
 					out.AppendMerged(rx, b.Row(y))
+					if lim.full(out) {
+						return
+					}
 				}
 				if stopped() {
 					return
@@ -455,6 +552,9 @@ func mergeLeftJoin(out *Bag, a, b *Bag, seq, verify []int, stopped func() bool) 
 			}
 			if !matched {
 				out.Append(rx)
+				if lim.full(out) {
+					return
+				}
 			}
 		}
 		i, j = i2, j2

@@ -60,7 +60,7 @@ func forcedHashJoin(a, b *Bag, hash keyHashFn) *Bag {
 	out.Maybe = a.Maybe.Or(b.Maybe)
 	keys := a.Cert.And(b.Cert).Indices(a.Width)
 	verify := verifyPositions(a, b, keys)
-	hashJoin(out, a, b, keys, verify, never, hash)
+	hashJoin(out, a, b, keys, verify, never, hash, &joinLimit{max: -1})
 	return out
 }
 
@@ -72,7 +72,7 @@ func forcedMergeJoin(a, b *Bag) *Bag {
 	out.Maybe = a.Maybe.Or(b.Maybe)
 	keys := a.Cert.And(b.Cert).Indices(a.Width)
 	verify := verifyPositions(a, b, keys)
-	mergeJoin(out, SortBy(a, keys), SortBy(b, keys), keys, verify, never)
+	mergeJoin(out, SortBy(a, keys), SortBy(b, keys), keys, verify, never, &joinLimit{max: -1})
 	return out
 }
 
@@ -255,7 +255,7 @@ func TestHashCollisionProbeVerifiesKeys(t *testing.T) {
 		lj := NewBag(x.Width)
 		lj.Cert = x.Cert.Clone()
 		lj.Maybe = x.Maybe.Or(y.Maybe)
-		hashLeftJoin(lj, x, y, keys, verify, never, zero)
+		hashLeftJoin(lj, x, y, keys, verify, never, zero, &joinLimit{max: -1})
 		if !MultisetEqual(lj, naiveLeftJoin(x, y)) {
 			t.Fatal("hashLeftJoin relies on hash uniqueness for key equality")
 		}

@@ -1,0 +1,140 @@
+package algebra
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sparqluo/internal/store"
+)
+
+func toID(v int) store.ID { return store.ID(v) }
+
+// refSort is an independent reference for SortByKeys: materialize the
+// rows, stable-sort with compareKeys, rebuild.
+func refSort(b *Bag, keys []SortKey) [][]int {
+	rows := rowsOf(b)
+	sort.SliceStable(rows, func(x, y int) bool {
+		rx, ry := make(Row, len(rows[x])), make(Row, len(rows[y]))
+		for i := range rows[x] {
+			rx[i], ry[i] = toID(rows[x][i]), toID(rows[y][i])
+		}
+		return compareKeys(rx, ry, keys) < 0
+	})
+	return rows
+}
+
+func eqRows(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSortByKeys(t *testing.T) {
+	b := mkBag(3,
+		[]int{3, 1, 9},
+		[]int{1, 2, 8},
+		[]int{3, 0, 7}, // unbound (0) sorts first ascending
+		[]int{2, 2, 6},
+		[]int{1, 1, 5},
+	)
+	cases := []struct {
+		name string
+		keys []SortKey
+	}{
+		{"asc col0", []SortKey{{Col: 0}}},
+		{"desc col0", []SortKey{{Col: 0, Desc: true}}},
+		{"col1 then col0", []SortKey{{Col: 1}, {Col: 0}}},
+		{"asc col0 desc col2", []SortKey{{Col: 0}, {Col: 2, Desc: true}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SortByKeys(b, tc.keys)
+			if !eqRows(rowsOf(got), refSort(b, tc.keys)) {
+				t.Errorf("SortByKeys = %v, want %v", rowsOf(got), refSort(b, tc.keys))
+			}
+			if got.Len() != b.Len() {
+				t.Errorf("row count changed: %d -> %d", b.Len(), got.Len())
+			}
+		})
+	}
+}
+
+func TestSortByKeysStable(t *testing.T) {
+	// Many ties on the key column: relative order of tied rows (visible
+	// in column 1) must be the input order.
+	b := mkBag(2,
+		[]int{1, 4}, []int{2, 1}, []int{1, 3}, []int{2, 2}, []int{1, 5},
+	)
+	got := rowsOf(SortByKeys(b, []SortKey{{Col: 0}}))
+	want := [][]int{{1, 4}, {1, 3}, {1, 5}, {2, 1}, {2, 2}}
+	if !eqRows(got, want) {
+		t.Errorf("stable sort = %v, want %v", got, want)
+	}
+}
+
+func TestTopKMatchesSortPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		rows := make([][]int, n)
+		for i := range rows {
+			// Narrow domains force many ties so the stable tiebreak is
+			// actually exercised.
+			rows[i] = []int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+		}
+		b := mkBag(3, rows...)
+		keys := []SortKey{{Col: rng.Intn(3), Desc: rng.Intn(2) == 0}, {Col: rng.Intn(3)}}
+		full := SortByKeys(b, keys)
+		for _, k := range []int{0, 1, n / 2, n, n + 3} {
+			got := TopK(b, keys, k)
+			lim := min(k, n)
+			if !eqRows(rowsOf(got), rowsOf(full.View(0, lim))) {
+				t.Fatalf("trial %d k=%d: TopK = %v, want sort prefix %v",
+					trial, k, rowsOf(got), rowsOf(full.View(0, lim)))
+			}
+		}
+	}
+}
+
+func TestTopKOrderClaim(t *testing.T) {
+	b := mkBag(2, []int{2, 1}, []int{1, 2}, []int{3, 3})
+	if got := TopK(b, []SortKey{{Col: 0}}, 2); !OrderCoversKeys(got.Order, []SortKey{{Col: 0}}) {
+		t.Errorf("TopK Order = %v does not cover its own keys", got.Order)
+	}
+	// A descending key cannot claim ascending physical order.
+	if got := TopK(b, []SortKey{{Col: 0, Desc: true}}, 2); len(got.Order) != 0 {
+		t.Errorf("descending TopK claims Order %v", got.Order)
+	}
+}
+
+func TestOrderCoversKeys(t *testing.T) {
+	cases := []struct {
+		ord  []int
+		keys []SortKey
+		want bool
+	}{
+		{[]int{0, 1}, []SortKey{{Col: 0}}, true},
+		{[]int{0, 1}, []SortKey{{Col: 0}, {Col: 1}}, true},
+		{[]int{0, 1}, []SortKey{{Col: 1}}, false},          // wrong leading column
+		{[]int{0}, []SortKey{{Col: 0}, {Col: 1}}, false},   // order too short
+		{[]int{0}, []SortKey{{Col: 0, Desc: true}}, false}, // Order speaks ascending only
+		{nil, nil, true},
+	}
+	for i, tc := range cases {
+		if got := OrderCoversKeys(tc.ord, tc.keys); got != tc.want {
+			t.Errorf("case %d: OrderCoversKeys(%v, %v) = %v, want %v", i, tc.ord, tc.keys, got, tc.want)
+		}
+	}
+}

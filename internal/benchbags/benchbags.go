@@ -15,6 +15,28 @@ import (
 // Both bags are built key-sorted; ordered selects whether their Order
 // property says so (true → the dispatch merge-joins, false → it hash-
 // joins the same data).
+// SortInput builds the ORDER BY micro-benchmark operand: n rows of
+// width 2 whose column 0 holds deterministically scrambled keys (a
+// fixed LCG, so every run sorts identical data) and column 1 a unique
+// payload. The bag carries no Order claim, so both the full sort and
+// the bounded-heap top-k must do real work.
+func SortInput(n int) *algebra.Bag {
+	b := algebra.NewBag(2)
+	for c := 0; c < 2; c++ {
+		b.Cert.Set(c)
+		b.Maybe.Set(c)
+	}
+	row := make(algebra.Row, 2)
+	seed := uint32(2463534242)
+	for i := 0; i < n; i++ {
+		seed = seed*1664525 + 1013904223
+		row[0] = store.ID(1 + seed%uint32(n))
+		row[1] = store.ID(1 + i)
+		b.Append(row)
+	}
+	return b
+}
+
 func JoinPair(n, fanout int, ordered bool) (*algebra.Bag, *algebra.Bag) {
 	mk := func(payload int) *algebra.Bag {
 		b := algebra.NewBag(3)

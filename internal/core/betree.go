@@ -96,8 +96,11 @@ type Tree struct {
 	Vars     *algebra.VarSet
 	Select   []string
 	Distinct bool
-	Limit    int // -1 = unlimited
-	Offset   int
+	// OrderBy holds the requested sort keys as variable positions, in
+	// significance order; empty means no requested order.
+	OrderBy []algebra.SortKey
+	Limit   int // -1 = unlimited
+	Offset  int
 }
 
 // Clone deep-copies the tree (sharing the variable table, which is
@@ -108,6 +111,7 @@ func (t *Tree) Clone() *Tree {
 		Vars:     t.Vars,
 		Select:   t.Select,
 		Distinct: t.Distinct,
+		OrderBy:  t.OrderBy,
 		Limit:    t.Limit,
 		Offset:   t.Offset,
 	}
@@ -135,6 +139,24 @@ func Build(q *sparql.Query, st *store.Store) (*Tree, error) {
 			// Projection of a variable that never occurs: legal SPARQL,
 			// always unbound. Intern it so rows have a slot.
 			t.Vars.Intern(v)
+		}
+	}
+	for _, k := range q.OrderBy {
+		// Sorting on a variable that never occurs is legal: every row
+		// carries None there, so the key ties everywhere. Intern it so
+		// the key has a slot. A repeated variable keeps its first
+		// occurrence — later mentions compare equal and can never break
+		// a tie.
+		col := t.Vars.Intern(k.Var)
+		dup := false
+		for _, have := range t.OrderBy {
+			if have.Col == col {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			t.OrderBy = append(t.OrderBy, algebra.SortKey{Col: col, Desc: k.Desc})
 		}
 	}
 	return t, nil

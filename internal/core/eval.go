@@ -32,6 +32,10 @@ type EvalStats struct {
 	bgpSizes map[*BGPNode]int
 	// PrunedBGPs counts BGP evaluations that ran with a candidate set.
 	PrunedBGPs int
+	// RowsPulled counts the operand/index rows drawn by the engines and
+	// the final capped operators — the work metric that shrinks when
+	// LIMIT push-down terminates early.
+	RowsPulled int
 }
 
 func newEvalStats() *EvalStats {
@@ -44,6 +48,7 @@ func newEvalStats() *EvalStats {
 func (s *EvalStats) merge(o *EvalStats) {
 	s.BGPResults = append(s.BGPResults, o.BGPResults...)
 	s.PrunedBGPs += o.PrunedBGPs
+	s.RowsPulled += o.RowsPulled
 	for n, sz := range o.bgpSizes {
 		s.bgpSizes[n] = sz
 	}
@@ -112,9 +117,16 @@ func EvaluateContext(ctx context.Context, t *Tree, st *store.Store, engine exec.
 	if parallelism > 1 {
 		ev.sem = make(chan struct{}, parallelism-1)
 	}
-	res := ev.group(t.Root, nil)
+	res := ev.groupTop(t.Root, nil, rootCap(t))
 	if err := ctx.Err(); err != nil {
 		return nil, ev.stats, err
+	}
+	// W3C modifier order: ORDER BY applies to the full solution sequence
+	// before projection (Project zeroes dropped columns, which would
+	// destroy the sort keys), then DISTINCT keeps first occurrences of
+	// the sorted sequence, then the OFFSET/LIMIT slice.
+	if len(t.OrderBy) > 0 {
+		res = applyOrder(res, t.OrderBy, t.Distinct, t.Offset, t.Limit)
 	}
 	if len(t.Select) > 0 {
 		keep := make([]int, 0, len(t.Select))
@@ -130,6 +142,41 @@ func EvaluateContext(ctx context.Context, t *Tree, st *store.Store, engine exec.
 	}
 	res = applySlice(res, t.Offset, t.Limit)
 	return res, ev.stats, nil
+}
+
+// rootCap returns the row count after which the root group may stop
+// producing, or -1 when early termination is unsound: DISTINCT shrinks
+// the sequence and ORDER BY reorders it, so under either the full result
+// is needed (ORDER BY instead terminates early through TopK).
+func rootCap(t *Tree) int {
+	if t.Limit < 0 || t.Distinct || len(t.OrderBy) > 0 {
+		return -1
+	}
+	off := t.Offset
+	if off < 0 {
+		off = 0
+	}
+	return off + t.Limit
+}
+
+// applyOrder implements ORDER BY: free when the bag's physical order
+// already covers the keys, a bounded-heap top-k when a LIMIT window
+// means only the first offset+limit sorted rows survive (unsound under
+// DISTINCT, which dedups before slicing), and a full stable sort
+// otherwise. All three paths yield byte-identical prefixes.
+func applyOrder(b *algebra.Bag, keys []algebra.SortKey, distinct bool, offset, limit int) *algebra.Bag {
+	if algebra.OrderCoversKeys(b.Order, keys) {
+		return b
+	}
+	if limit >= 0 && !distinct {
+		if offset < 0 {
+			offset = 0
+		}
+		if k := offset + limit; k < b.Len() {
+			return algebra.TopK(b, keys, k)
+		}
+	}
+	return algebra.SortByKeys(b, keys)
 }
 
 // applySlice implements the OFFSET and LIMIT solution modifiers as a
@@ -164,27 +211,70 @@ func applySlice(b *algebra.Bag, offset, limit int) *algebra.Bag {
 // fold; for non-well-designed ones it is the Pérez-style semantics the
 // paper's Theorems 1–2 assume.
 func (ev *evaluator) group(g *GroupNode, incoming *algebra.Bag) *algebra.Bag {
+	return ev.groupTop(g, incoming, -1)
+}
+
+// groupTop is group with LIMIT push-down: max >= 0 allows the single
+// operation that produces the group's returned bag — and only that one —
+// to stop after max rows. Every upstream child still evaluates fully
+// (intermediate bags feed joins and candidate derivation), and every
+// capped operator emits a deterministic prefix of its uncapped output,
+// so the truncated group result is byte-identical to the full result's
+// first max rows at any parallelism.
+func (ev *evaluator) groupTop(g *GroupNode, incoming *algebra.Bag, max int) *algebra.Bag {
 	if ev.ctx.Err() != nil {
 		return algebra.NewBag(ev.width) // discarded: caller reports ctx.Err()
 	}
+	// Locate the final producing operation: the last left join when
+	// OPTIONALs exist, otherwise the operation folding in the last
+	// required child.
+	lastReq := -1
+	hasOpt := false
+	for i, child := range g.Children {
+		if _, ok := child.(*OptionalNode); ok {
+			hasOpt = true
+		} else {
+			lastReq = i
+		}
+	}
+	childCap := func(i int) int {
+		if max >= 0 && !hasOpt && i == lastReq {
+			return max
+		}
+		return -1
+	}
 	var r *algebra.Bag
 	var optionals []*OptionalNode
-	for _, child := range g.Children {
+	for i, child := range g.Children {
 		switch child := child.(type) {
 		case *GroupNode:
-			o := ev.group(child, pickContext(r, incoming))
-			r = ev.joinWith(r, o)
+			var o *algebra.Bag
+			if cap := childCap(i); cap >= 0 && r == nil {
+				// The subgroup's bag IS the result: push the cap down.
+				o = ev.groupTop(child, pickContext(r, incoming), cap)
+			} else {
+				o = ev.group(child, pickContext(r, incoming))
+			}
+			r = ev.joinWithTop(r, o, childCap(i))
 		case *BGPNode:
 			cand := ev.deriveCandidates(child, r, incoming)
-			o := ev.evalBGP(child, cand)
-			r = ev.joinWith(r, o)
+			engineCap := -1
+			if cap := childCap(i); cap >= 0 && r == nil {
+				// The BGP's bag IS the result: the engine stops early.
+				engineCap = cap
+			}
+			o := ev.evalBGP(child, cand, engineCap)
+			r = ev.joinWithTop(r, o, childCap(i))
 		case *UnionNode:
 			branches := ev.fanOut(child.Branches, pickContext(r, incoming))
 			u := algebra.NewBag(ev.width)
 			for _, b := range branches {
 				u = algebra.Union(u, b)
 			}
-			r = ev.joinWith(r, u)
+			if cap := childCap(i); cap >= 0 && r == nil && cap < u.Len() {
+				u = u.View(0, cap)
+			}
+			r = ev.joinWithTop(r, u, childCap(i))
 		case *OptionalNode:
 			optionals = append(optionals, child)
 		}
@@ -203,8 +293,14 @@ func (ev *evaluator) group(g *GroupNode, incoming *algebra.Bag) *algebra.Bag {
 		for i, opt := range optionals {
 			rights[i] = opt.Right
 		}
-		for _, o := range ev.fanOut(rights, pickContext(r, incoming)) {
-			r = algebra.LeftJoinCancel(r, o, ev.cancelled)
+		for oi, o := range ev.fanOut(rights, pickContext(r, incoming)) {
+			cap := -1
+			if max >= 0 && oi == len(rights)-1 {
+				cap = max // only the final left join produces the result
+			}
+			r = algebra.LeftJoinWith(r, o, algebra.JoinOpts{
+				Stop: ev.cancelled, Max: cap, Pulled: &ev.stats.RowsPulled,
+			})
 		}
 	}
 	return r
@@ -265,20 +361,26 @@ func pickContext(r, incoming *algebra.Bag) *algebra.Bag {
 // observe the context too.
 func (ev *evaluator) cancelled() bool { return ev.ctx.Err() != nil }
 
-func (ev *evaluator) joinWith(r, o *algebra.Bag) *algebra.Bag {
+// joinWithTop folds a child bag into the accumulated result; max >= 0
+// caps the join's output (only ever passed for the group's final
+// producing operation).
+func (ev *evaluator) joinWithTop(r, o *algebra.Bag, max int) *algebra.Bag {
 	if r == nil {
 		return o
 	}
-	return algebra.JoinCancel(r, o, ev.cancelled)
+	return algebra.JoinWith(r, o, algebra.JoinOpts{
+		Stop: ev.cancelled, Max: max, Pulled: &ev.stats.RowsPulled,
+	})
 }
 
 // evalBGP evaluates one BGP node through the engine, recording
-// instrumentation.
-func (ev *evaluator) evalBGP(b *BGPNode, cand exec.Candidates) *algebra.Bag {
+// instrumentation. max >= 0 lets the engine stop at max result rows —
+// only sound when the BGP's bag is the group's final result.
+func (ev *evaluator) evalBGP(b *BGPNode, cand exec.Candidates, max int) *algebra.Bag {
 	if cand != nil {
 		ev.stats.PrunedBGPs++
 	}
-	res := ev.engine.EvalBGP(ev.ctx, ev.st, b.Enc, ev.width, cand)
+	res := ev.engine.EvalBGPTop(ev.ctx, ev.st, b.Enc, ev.width, cand, max, &ev.stats.RowsPulled)
 	ev.stats.BGPResults = append(ev.stats.BGPResults, res.Len())
 	ev.stats.bgpSizes[b] = res.Len()
 	return res

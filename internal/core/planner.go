@@ -68,6 +68,19 @@ type ExecOptions struct {
 	// goroutines. <= 0 selects GOMAXPROCS; 1 evaluates sequentially.
 	// Results and instrumentation are identical at every setting.
 	Parallelism int
+
+	// Limit, when LimitSet is true and Limit >= 0, caps the number of
+	// solutions this execution returns, composing with (never widening)
+	// any LIMIT in the query text. Applied per execution, so one cached
+	// plan serves every page size.
+	Limit int
+	// LimitSet guards Limit: the zero value of ExecOptions must mean
+	// "no exec-time limit", and Limit 0 is a meaningful request.
+	LimitSet bool
+	// Offset skips that many solutions in addition to any OFFSET in the
+	// query text (the windows compose: text OFFSET first, then this).
+	// Values <= 0 skip nothing.
+	Offset int
 }
 
 // Run plans and executes a parsed query with the given strategy and BGP
@@ -104,6 +117,7 @@ func RunTree(t *Tree, st *store.Store, engine exec.Engine, strat Strategy) *Resu
 // (transforming strategies clone it). On cancellation the ctx error is
 // returned and the Result is nil.
 func RunTreeContext(ctx context.Context, t *Tree, st *store.Store, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
+	t = applyWindow(t, opts)
 	res := &Result{Vars: t.Vars}
 	work := t
 	switch strat {
@@ -133,4 +147,41 @@ func RunTreeContext(ctx context.Context, t *Tree, st *store.Store, engine exec.E
 	res.ExecTime = time.Since(start)
 	res.Bag, res.Tree, res.Stats = bag, work, stats
 	return res, nil
+}
+
+// applyWindow composes the exec-time pagination window of opts with the
+// tree's own textual LIMIT/OFFSET: the request's offset skips rows of
+// the text-modified sequence, and the request's limit never widens the
+// text limit. The input tree is never mutated — a shallow copy carries
+// the composed window (Base/CP share the plan tree across executions).
+func applyWindow(t *Tree, opts ExecOptions) *Tree {
+	reqOff := opts.Offset
+	if reqOff < 0 {
+		reqOff = 0
+	}
+	reqLim := -1
+	if opts.LimitSet && opts.Limit >= 0 {
+		reqLim = opts.Limit
+	}
+	if reqOff == 0 && reqLim < 0 {
+		return t
+	}
+	nt := *t
+	off := t.Offset
+	if off < 0 {
+		off = 0
+	}
+	lim := t.Limit
+	if lim >= 0 {
+		// The request's offset consumes rows of the text window.
+		lim -= reqOff
+		if lim < 0 {
+			lim = 0
+		}
+	}
+	if reqLim >= 0 && (lim < 0 || reqLim < lim) {
+		lim = reqLim
+	}
+	nt.Offset, nt.Limit = off+reqOff, lim
+	return &nt
 }

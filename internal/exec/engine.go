@@ -21,6 +21,15 @@ type Engine interface {
 	// callers that pass a cancellable context must check ctx.Err()
 	// before trusting the result.
 	EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag
+	// EvalBGPTop is EvalBGP with LIMIT push-down: when max >= 0 the
+	// engine may stop as soon as max result rows exist, and the rows it
+	// returns must be exactly the first max rows EvalBGP would produce
+	// (every engine emits in a deterministic physical order, so the
+	// capped result is a prefix of the full one). max < 0 disables the
+	// cap and the call is equivalent to EvalBGP. pulled, when non-nil,
+	// accumulates the number of index/operand rows the evaluation drew —
+	// the early-termination metric surfaced in EvalStats.
+	EvalBGPTop(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag
 	// EstimateCard estimates |res(BGP)| using the sampling-based
 	// cardinality estimator of §5.1.2. A cancelled ctx truncates the
 	// sampling walk; the estimate is then meaningless and the caller is
@@ -108,12 +117,13 @@ func (e *estimator) estimate(ctx context.Context, bgp BGP, order []int) (cards [
 				if ctx.Err() != nil {
 					return cards, samples
 				}
-				MatchPattern(e.st, pat, r, nil, func(nr algebra.Row) {
+				MatchPattern(e.st, pat, r, nil, func(nr algebra.Row) bool {
 					extended++
 					if len(next) < sampleSize {
 						// nr is MatchPattern's scratch buffer; copy to retain.
 						next = append(next, slices.Clone(nr))
 					}
+					return true
 				})
 			}
 			if len(sample) == 0 {
@@ -136,11 +146,12 @@ func (e *estimator) estimate(ctx context.Context, bgp BGP, order []int) (cards [
 func (e *estimator) sampleSingle(pat Pattern) []algebra.Row {
 	var out []algebra.Row
 	seed := make(algebra.Row, e.width)
-	MatchPattern(e.st, pat, seed, nil, func(nr algebra.Row) {
+	MatchPattern(e.st, pat, seed, nil, func(nr algebra.Row) bool {
 		if len(out) < sampleSize {
 			// nr is MatchPattern's scratch buffer; copy to retain.
 			out = append(out, slices.Clone(nr))
 		}
+		return true
 	})
 	return out
 }

@@ -88,8 +88,9 @@ func TestQuickMatchPatternMatchesBruteForce(t *testing.T) {
 		for k := 0; k < 8; k++ {
 			pat := randomPattern(rng, st)
 			var got []algebra.Row
-			MatchPattern(st, pat, make(algebra.Row, width), nil, func(r algebra.Row) {
+			MatchPattern(st, pat, make(algebra.Row, width), nil, func(r algebra.Row) bool {
 				got = append(got, slices.Clone(r))
+				return true
 			})
 			want := bruteMatches(st, pat, width)
 			if !algebra.MultisetEqual(toBag(width, got), toBag(width, want)) {

@@ -43,8 +43,9 @@ func TestQuickMatchOrderSound(t *testing.T) {
 			cand := randomCandidates(rng, st, BGP{pat})
 			bag := algebra.NewBag(width)
 			bag.Order = MatchOrder(st, pat, func(int) bool { return false }, cand)
-			MatchPattern(st, pat, make(algebra.Row, width), cand, func(r algebra.Row) {
+			MatchPattern(st, pat, make(algebra.Row, width), cand, func(r algebra.Row) bool {
 				bag.Append(r)
+				return true
 			})
 			if !bag.SortedBy(bag.Order) {
 				t.Logf("pattern %+v cand=%v: %d rows not sorted by claimed %v",

@@ -112,7 +112,9 @@ func resolve(pos Pos, row algebra.Row) (store.ID, bool) {
 // bindEmit extends row into scratch with the given (s,p,o) match of pat,
 // verifying repeated-variable consistency and candidate membership, and
 // calls emit with scratch on success. scratch is reused across calls.
-func bindEmit(pat Pattern, row, scratch algebra.Row, s, p, o store.ID, cand Candidates, emit func(algebra.Row)) {
+// It returns false once emit asks enumeration to stop; rejected matches
+// (mismatch, candidate miss) keep enumerating.
+func bindEmit(pat Pattern, row, scratch algebra.Row, s, p, o store.ID, cand Candidates, emit func(algebra.Row) bool) bool {
 	nr := scratch
 	copy(nr, row)
 	for _, pv := range [3]struct {
@@ -125,20 +127,23 @@ func bindEmit(pat Pattern, row, scratch algebra.Row, s, p, o store.ID, cand Cand
 		cur := nr[pv.pos.Var]
 		if cur != store.None {
 			if cur != pv.id {
-				return // repeated variable mismatch
+				return true // repeated variable mismatch
 			}
 			continue
 		}
 		if !cand.Allows(pv.pos.Var, pv.id) {
-			return
+			return true
 		}
 		nr[pv.pos.Var] = pv.id
 	}
-	emit(nr)
+	return emit(nr)
 }
 
 // MatchPattern enumerates all extensions of row that match pat in st,
-// honoring candidate sets, and calls emit for each extended row.
+// honoring candidate sets, and calls emit for each extended row. emit
+// returns whether enumeration should continue: a false return stops the
+// scan immediately, which is how LIMIT push-down terminates index scans
+// early instead of materializing every match.
 //
 // The row passed to emit is a scratch buffer owned by MatchPattern and
 // reused across emissions: consumers that retain it beyond the call must
@@ -146,7 +151,7 @@ func bindEmit(pat Pattern, row, scratch algebra.Row, s, p, o store.ID, cand Cand
 //
 // Matches are emitted in the physical order of the permutation range the
 // pattern reads; MatchOrder reports that order as a variable sequence.
-func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates, emit func(algebra.Row)) {
+func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates, emit func(algebra.Row) bool) {
 	if pat.Impossible() {
 		return
 	}
@@ -167,30 +172,40 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 		if set := candFor(pat.O, cand); set != nil && len(set) < len(objs) {
 			for _, x := range sortedSet(set) {
 				if st.Contains(s, p, x) {
-					bindEmit(pat, row, scratch, s, p, x, cand, emit)
+					if !bindEmit(pat, row, scratch, s, p, x, cand, emit) {
+						return
+					}
 				}
 			}
 			return
 		}
 		for _, x := range objs {
-			bindEmit(pat, row, scratch, s, p, x, cand, emit)
+			if !bindEmit(pat, row, scratch, s, p, x, cand, emit) {
+				return
+			}
 		}
 	case pb && ob:
 		subs := st.SubjectsPO(p, o)
 		if set := candFor(pat.S, cand); set != nil && len(set) < len(subs) {
 			for _, x := range sortedSet(set) {
 				if st.Contains(x, p, o) {
-					bindEmit(pat, row, scratch, x, p, o, cand, emit)
+					if !bindEmit(pat, row, scratch, x, p, o, cand, emit) {
+						return
+					}
 				}
 			}
 			return
 		}
 		for _, x := range subs {
-			bindEmit(pat, row, scratch, x, p, o, cand, emit)
+			if !bindEmit(pat, row, scratch, x, p, o, cand, emit) {
+				return
+			}
 		}
 	case sb && ob:
 		for _, pp := range st.PredsSO(s, o) {
-			bindEmit(pat, row, scratch, s, pp, o, cand, emit)
+			if !bindEmit(pat, row, scratch, s, pp, o, cand, emit) {
+				return
+			}
 		}
 	case pb:
 		// Only the predicate is bound: a small candidate set on either
@@ -199,7 +214,9 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 		if set := candFor(pat.S, cand); set != nil && len(set) < st.CountP(p) {
 			for _, ss := range sortedSet(set) {
 				for _, x := range st.ObjectsSP(ss, p) {
-					bindEmit(pat, row, scratch, ss, p, x, cand, emit)
+					if !bindEmit(pat, row, scratch, ss, p, x, cand, emit) {
+						return
+					}
 				}
 			}
 			return
@@ -207,25 +224,35 @@ func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates
 		if set := candFor(pat.O, cand); set != nil && len(set) < st.CountP(p) {
 			for _, oo := range sortedSet(set) {
 				for _, ss := range st.SubjectsPO(p, oo) {
-					bindEmit(pat, row, scratch, ss, p, oo, cand, emit)
+					if !bindEmit(pat, row, scratch, ss, p, oo, cand, emit) {
+						return
+					}
 				}
 			}
 			return
 		}
 		for _, t := range st.PredicateTriples(p) {
-			bindEmit(pat, row, scratch, t.S, p, t.O, cand, emit)
+			if !bindEmit(pat, row, scratch, t.S, p, t.O, cand, emit) {
+				return
+			}
 		}
 	case sb:
 		for _, t := range st.SubjectTriples(s) {
-			bindEmit(pat, row, scratch, s, t.P, t.O, cand, emit)
+			if !bindEmit(pat, row, scratch, s, t.P, t.O, cand, emit) {
+				return
+			}
 		}
 	case ob:
 		for _, t := range st.ObjectTriples(o) {
-			bindEmit(pat, row, scratch, t.S, t.P, o, cand, emit)
+			if !bindEmit(pat, row, scratch, t.S, t.P, o, cand, emit) {
+				return
+			}
 		}
 	default:
 		for _, t := range st.Triples() {
-			bindEmit(pat, row, scratch, t.S, t.P, t.O, cand, emit)
+			if !bindEmit(pat, row, scratch, t.S, t.P, t.O, cand, emit) {
+				return
+			}
 		}
 	}
 }
@@ -277,7 +304,7 @@ func ExactCount(st *store.Store, pat Pattern) int {
 			}
 		}
 		n := 0
-		MatchPattern(st, pat, make(algebra.Row, width), nil, func(algebra.Row) { n++ })
+		MatchPattern(st, pat, make(algebra.Row, width), nil, func(algebra.Row) bool { n++; return true })
 		return n
 	}
 	sb, pb, ob := !pat.S.IsVar, !pat.P.IsVar, !pat.O.IsVar

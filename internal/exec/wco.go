@@ -27,20 +27,40 @@ func (WCOEngine) Name() string { return "wco" }
 // parent row, so the concatenated per-step MatchOrder sequences are a
 // lexicographic sort of the output — the "interesting order" the
 // order-aware joins downstream consume.
-func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+func (e WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+	return e.EvalBGPTop(ctx, st, bgp, width, cand, -1, nil)
+}
+
+// EvalBGPTop implements Engine with LIMIT push-down. The vertex
+// extension keeps intermediate levels complete — every partial mapping
+// may still be needed to produce the first max results — but the final
+// extension level stops as soon as max rows exist: its emission order
+// is deterministic, so the capped bag is a byte-identical prefix of the
+// full result. pulled accumulates the rows appended across all levels,
+// the engine's work metric.
+func (WCOEngine) EvalBGPTop(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag {
 	out := algebra.NewBag(width)
 	for _, v := range bgp.Vars() {
 		out.Cert.Set(v)
 		out.Maybe.Set(v)
 	}
 	if len(bgp) == 0 {
-		out.TakeRows(algebra.Unit(width))
+		if max != 0 {
+			out.TakeRows(algebra.Unit(width))
+		}
 		return out
 	}
 	for _, p := range bgp {
 		if p.Impossible() {
 			return out
 		}
+	}
+	if max == 0 {
+		return out
+	}
+	n := 0
+	if pulled != nil {
+		defer func() { *pulled += n }()
 	}
 	order := greedyOrderWithCands(st, bgp, cand)
 	poll := ctxPoll{ctx: ctx}
@@ -49,8 +69,9 @@ func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width in
 	bound := func(v int) bool { return boundVars[v] }
 	var ord []int
 	ordValid := true
-	for _, idx := range order {
+	for li, idx := range order {
 		pat := bgp[idx]
+		last := li == len(order)-1
 		// An order is only claimable while every step so far reported
 		// one: a step with unknown emission order scrambles the suffix.
 		if ordValid {
@@ -62,16 +83,22 @@ func (WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width in
 			}
 		}
 		next := algebra.NewBag(width)
+		full := func() bool { return last && max >= 0 && next.Len() >= max }
 		for i := 0; i < rows.Len(); i++ {
-			MatchPattern(st, pat, rows.Row(i), cand, func(nr algebra.Row) {
+			MatchPattern(st, pat, rows.Row(i), cand, func(nr algebra.Row) bool {
 				if poll.stopped {
-					return // cancelled mid-scan: stop accumulating
+					return false // cancelled mid-scan: stop accumulating
 				}
 				next.Append(nr)
+				n++
 				poll.tick()
+				return !full()
 			})
 			if poll.stopped {
 				return out
+			}
+			if full() {
+				break
 			}
 		}
 		if poll.done() {

@@ -112,8 +112,9 @@ func (ev *evaluator) patternBag(tp sparql.TriplePattern) *algebra.Bag {
 	}
 	out.Order = exec.MatchOrder(ev.st, pat, func(int) bool { return false }, nil)
 	seed := make(algebra.Row, ev.width)
-	exec.MatchPattern(ev.st, pat, seed, nil, func(r algebra.Row) {
+	exec.MatchPattern(ev.st, pat, seed, nil, func(r algebra.Row) bool {
 		out.Append(r)
+		return true
 	})
 	ev.materialized += out.Len()
 	return out

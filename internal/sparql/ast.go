@@ -112,6 +112,12 @@ func (*Optional) isElement() {}
 
 func (TriplePattern) isElement() {}
 
+// OrderKey is one ORDER BY sort key: a variable plus direction.
+type OrderKey struct {
+	Var  string // variable name without "?"
+	Desc bool   // true for DESC, false for ASC (the default)
+}
+
 // Query is a parsed SELECT query.
 type Query struct {
 	Prefixes map[string]string
@@ -121,6 +127,9 @@ type Query struct {
 	// Distinct reports whether SELECT DISTINCT was used.
 	Distinct bool
 	Where    *Group
+	// OrderBy lists the ORDER BY sort keys in significance order; empty
+	// means no requested order.
+	OrderBy []OrderKey
 	// Limit caps the number of solutions returned; -1 means no limit.
 	Limit int
 	// Offset skips that many solutions; 0 means none.
@@ -143,6 +152,16 @@ func (q *Query) String() string {
 	}
 	b.WriteString("WHERE ")
 	writeGroup(&b, q.Where, 0)
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				b.WriteString(" DESC ?" + k.Var)
+			} else {
+				b.WriteString(" ?" + k.Var)
+			}
+		}
+	}
 	if q.Limit >= 0 {
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
 	}

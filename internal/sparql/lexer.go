@@ -18,7 +18,7 @@ const (
 	tokIRI     // <...>
 	tokPName   // pfx:local
 	tokLiteral // "..." with optional @lang / ^^dt
-	tokKeyword // SELECT WHERE UNION OPTIONAL PREFIX DISTINCT LIMIT OFFSET
+	tokKeyword // SELECT WHERE UNION OPTIONAL PREFIX DISTINCT ORDER BY ASC DESC LIMIT OFFSET
 	tokA       // 'a' shorthand for rdf:type
 	tokNumber  // bare integer (LIMIT/OFFSET argument)
 )
@@ -42,6 +42,7 @@ func (e *Error) Error() string { return fmt.Sprintf("sparql: at offset %d: %s", 
 var keywords = map[string]bool{
 	"SELECT": true, "WHERE": true, "UNION": true,
 	"OPTIONAL": true, "PREFIX": true, "DISTINCT": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true,
 	"LIMIT": true, "OFFSET": true,
 }
 

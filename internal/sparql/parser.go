@@ -10,15 +10,19 @@ import (
 
 // Parse parses a SPARQL-UO SELECT query.
 //
-// Supported grammar (the paper's fragment):
+// Supported grammar (the paper's fragment plus solution modifiers):
 //
-//	query    := prefix* SELECT DISTINCT? (var* | '*')? WHERE? group (LIMIT n)? (OFFSET n)?
+//	query    := prefix* SELECT DISTINCT? (var* | '*')? WHERE? group modifier*
+//	modifier := ORDER BY ((ASC|DESC)? var)+ | LIMIT n | OFFSET n
 //	prefix   := PREFIX pname: <iri>
 //	group    := '{' element* '}'
 //	element  := triple '.'? | group unionTail? | OPTIONAL group
 //	unionTail:= (UNION group)+
 //	triple   := term term term
 //	term     := var | <iri> | pname | literal | 'a'
+//
+// Each modifier may appear at most once, in any order; a repeated
+// ORDER BY, LIMIT or OFFSET is a positioned parse error.
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -90,14 +94,50 @@ func (p *parser) query() (*Query, error) {
 	}
 	q.Where = g
 	q.Limit = -1
-	for p.cur().kind == tokKeyword && (p.cur().text == "LIMIT" || p.cur().text == "OFFSET") {
-		kw := p.next().text
+	if err := p.modifiers(q); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing tokens after query body")
+	}
+	return q, nil
+}
+
+// modifiers parses the solution modifiers (ORDER BY, LIMIT, OFFSET) in
+// any order. Each clause may appear at most once: repeating one is
+// almost certainly a mistake (the previous grammar silently kept the
+// last value), so duplicates are rejected with the position of the
+// second keyword.
+func (p *parser) modifiers(q *Query) error {
+	seen := map[string]bool{}
+	for p.cur().kind == tokKeyword {
+		kw := p.cur().text
+		switch kw {
+		case "ORDER", "LIMIT", "OFFSET":
+		default:
+			return nil
+		}
+		t := p.next()
+		if seen[kw] {
+			clause := kw
+			if clause == "ORDER" {
+				clause = "ORDER BY"
+			}
+			return &Error{Pos: t.pos, Msg: fmt.Sprintf("duplicate %s clause", clause)}
+		}
+		seen[kw] = true
+		if kw == "ORDER" {
+			if err := p.orderBy(q); err != nil {
+				return err
+			}
+			continue
+		}
 		if p.cur().kind != tokNumber {
-			return nil, p.errf("expected integer after %s", kw)
+			return p.errf("expected integer after %s", kw)
 		}
 		n, err := strconv.Atoi(p.next().text)
 		if err != nil {
-			return nil, p.errf("bad %s value: %v", kw, err)
+			return p.errf("bad %s value: %v", kw, err)
 		}
 		if kw == "LIMIT" {
 			q.Limit = n
@@ -105,10 +145,33 @@ func (p *parser) query() (*Query, error) {
 			q.Offset = n
 		}
 	}
-	if p.cur().kind != tokEOF {
-		return nil, p.errf("trailing tokens after query body")
+	return nil
+}
+
+// orderBy parses the tail of an ORDER BY clause (the ORDER keyword has
+// been consumed): BY followed by one or more (ASC|DESC)? ?var keys.
+func (p *parser) orderBy(q *Query) error {
+	if p.cur().kind != tokKeyword || p.cur().text != "BY" {
+		return p.errf("expected BY after ORDER")
 	}
-	return q, nil
+	p.next()
+	for {
+		desc := false
+		if p.cur().kind == tokKeyword && (p.cur().text == "ASC" || p.cur().text == "DESC") {
+			desc = p.next().text == "DESC"
+			if p.cur().kind != tokVar {
+				return p.errf("expected variable after ASC/DESC")
+			}
+		}
+		if p.cur().kind != tokVar {
+			break
+		}
+		q.OrderBy = append(q.OrderBy, OrderKey{Var: p.next().text, Desc: desc})
+	}
+	if len(q.OrderBy) == 0 {
+		return p.errf("expected at least one sort key after ORDER BY")
+	}
+	return nil
 }
 
 func (p *parser) prefix() error {

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -223,6 +224,94 @@ func TestTriplePatternVars(t *testing.T) {
 	so := tp.SubjObjVars()
 	if len(so) != 1 || so[0] != "x" {
 		t.Errorf("SubjObjVars = %v, want [x]", so)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://e/p> ?y } ORDER BY ?y DESC ?x LIMIT 5 OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []OrderKey{{Var: "y"}, {Var: "x", Desc: true}}
+	if len(q.OrderBy) != len(want) {
+		t.Fatalf("OrderBy = %+v, want %+v", q.OrderBy, want)
+	}
+	for i, k := range want {
+		if q.OrderBy[i] != k {
+			t.Errorf("OrderBy[%d] = %+v, want %+v", i, q.OrderBy[i], k)
+		}
+	}
+	if q.Limit != 5 || q.Offset != 2 {
+		t.Errorf("Limit/Offset = %d/%d, want 5/2", q.Limit, q.Offset)
+	}
+	// ASC is the default and may be spelled out; modifiers may come in
+	// any order relative to LIMIT/OFFSET.
+	q2, err := Parse(`SELECT ?x WHERE { ?x <http://e/p> ?y } LIMIT 5 ORDER BY ASC ?y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.OrderBy) != 1 || q2.OrderBy[0] != (OrderKey{Var: "y"}) {
+		t.Errorf("OrderBy = %+v", q2.OrderBy)
+	}
+}
+
+func TestParseOrderByErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing BY", `SELECT * WHERE { ?x <http://e/p> ?y } ORDER ?y`},
+		{"no keys", `SELECT * WHERE { ?x <http://e/p> ?y } ORDER BY LIMIT 5`},
+		{"non-variable key", `SELECT * WHERE { ?x <http://e/p> ?y } ORDER BY <http://e/p>`},
+		{"desc without var", `SELECT * WHERE { ?x <http://e/p> ?y } ORDER BY DESC`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Errorf("want error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseDuplicateModifiers(t *testing.T) {
+	cases := []struct{ name, src, wantMsg string }{
+		{"limit", `SELECT * WHERE { ?x <http://e/p> ?y } LIMIT 5 LIMIT 6`, "duplicate LIMIT clause"},
+		{"offset", `SELECT * WHERE { ?x <http://e/p> ?y } OFFSET 1 LIMIT 5 OFFSET 2`, "duplicate OFFSET clause"},
+		{"order by", `SELECT * WHERE { ?x <http://e/p> ?y } ORDER BY ?x ORDER BY ?y`, "duplicate ORDER BY clause"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("want error for %q", tc.src)
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error type %T, want *Error: %v", err, err)
+			}
+			if !strings.Contains(perr.Msg, tc.wantMsg) {
+				t.Errorf("message %q, want substring %q", perr.Msg, tc.wantMsg)
+			}
+			if perr.Pos <= 0 {
+				t.Errorf("Pos = %d, want a position inside the text", perr.Pos)
+			}
+		})
+	}
+}
+
+func TestOrderByStringRoundTrip(t *testing.T) {
+	src := `SELECT ?x WHERE { ?x <http://e/p> ?y } ORDER BY ?y DESC ?x LIMIT 3 OFFSET 1`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("rendered query does not parse: %v\n%s", err, q.String())
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", q.String(), q2.String())
+	}
+	if len(q2.OrderBy) != 2 || !q2.OrderBy[1].Desc {
+		t.Errorf("OrderBy lost in round trip: %+v", q2.OrderBy)
 	}
 }
 

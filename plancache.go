@@ -72,24 +72,25 @@ func (c *planCache) len() int {
 // terminating newline — crucially, the comment acts as a token
 // separator, so a commented query can never share a key with the
 // uncommented text in which the comment would swallow real tokens.
-// Quoted content is preserved byte-for-byte — whitespace and '#' inside
-// a literal or IRI are significant — so two distinct queries can never
-// normalize to the same key.
+// IRI references are preserved byte-for-byte — whitespace and '#'
+// inside <...> are significant. String literals are re-emitted with
+// every lexer-recognized escape in canonical form, so "a\tb" and the
+// same literal holding a raw tab byte — identical queries to the parser
+// — share one entry; a literal the lexer would reject (unknown escape,
+// unterminated) is kept byte-for-byte instead. Two distinct queries can
+// never normalize to the same key: canonical re-encoding is injective
+// on valid literals, and an invalid literal's raw bytes contain a
+// backslash sequence or missing terminator no canonical emission can.
 func normalizeQueryText(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
-	var quote byte   // closing delimiter when inside "..." or <...>
+	var quote byte   // '>' while inside an IRI reference
 	pending := false // a space is owed before the next token
 	started := false // a non-space byte has been written
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		if quote != 0 {
 			b.WriteByte(c)
-			if c == '\\' && quote == '"' && i+1 < len(s) {
-				i++
-				b.WriteByte(s[i])
-				continue
-			}
 			if c == quote {
 				quote = 0
 			}
@@ -106,7 +107,15 @@ func normalizeQueryText(s string) string {
 			pending = started
 			continue
 		case '"':
-			quote = '"'
+			if pending {
+				b.WriteByte(' ')
+				pending = false
+			}
+			started = true
+			lit, end := canonicalLiteral(s, i)
+			b.WriteString(lit)
+			i = end - 1
+			continue
 		case '<':
 			quote = '>'
 		}
@@ -116,6 +125,91 @@ func normalizeQueryText(s string) string {
 		}
 		started = true
 		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// canonicalLiteral consumes the string literal starting at the opening
+// quote s[start] and returns its canonical emission plus the index just
+// past the literal. A literal the lexer accepts is decoded (the escapes
+// of lexer.literal: \n \t \r \" \\) and re-encoded canonically; one it
+// would reject — unknown escape, trailing backslash, no closing quote —
+// is returned byte-for-byte so distinct invalid texts keep distinct keys.
+func canonicalLiteral(s string, start int) (string, int) {
+	var content strings.Builder
+	for i := start + 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			if i+1 >= len(s) {
+				return s[start:], len(s) // trailing backslash: raw
+			}
+			switch s[i+1] {
+			case 'n':
+				content.WriteByte('\n')
+			case 't':
+				content.WriteByte('\t')
+			case 'r':
+				content.WriteByte('\r')
+			case '"':
+				content.WriteByte('"')
+			case '\\':
+				content.WriteByte('\\')
+			default:
+				// Unknown escape: the lexer rejects this literal. Emit the
+				// raw bytes up to its end so the key stays injective.
+				end := rawLiteralEnd(s, start)
+				return s[start:end], end
+			}
+			i++
+		case '"':
+			return `"` + encodeCanonicalLiteral(content.String()) + `"`, i + 1
+		default:
+			content.WriteByte(c)
+		}
+	}
+	return s[start:], len(s) // unterminated: raw
+}
+
+// rawLiteralEnd finds the index just past a literal without decoding it,
+// honoring backslash-skipping exactly like the pre-canonical normalizer
+// (and the lexer's cursor movement): used for literals the lexer would
+// reject, which are preserved byte-for-byte.
+func rawLiteralEnd(s string, start int) int {
+	for i := start + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return len(s)
+}
+
+// encodeCanonicalLiteral escapes a decoded literal body the one
+// canonical way: exactly the bytes the lexer's escapes denote (\ " and
+// the control characters n/t/r) are escaped, everything else is emitted
+// verbatim. Every backslash in the output starts a valid escape and no
+// raw \n/\t/\r/" survives, so decoding is unambiguous and the encoding
+// is injective.
+func encodeCanonicalLiteral(body string) string {
+	var b strings.Builder
+	b.Grow(len(body))
+	for i := 0; i < len(body); i++ {
+		switch c := body[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
 	}
 	return b.String()
 }

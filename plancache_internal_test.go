@@ -46,6 +46,47 @@ func TestNormalizeQueryText(t *testing.T) {
 	}
 }
 
+func TestNormalizeQueryTextEscapes(t *testing.T) {
+	// The lexer decodes \n \t \r \" \\ inside literals, so a query
+	// spelling a tab as "\t" and one holding the raw byte are the same
+	// query and must share a cache key.
+	same := [][2]string{
+		{`{ ?s ?p "a\tb" }`, "{ ?s ?p \"a\tb\" }"},
+		{`{ ?s ?p "a\nb" }`, "{ ?s ?p \"a\nb\" }"},
+		{`{ ?s ?p "a\rb" }`, "{ ?s ?p \"a\rb\" }"},
+	}
+	for _, c := range same {
+		if a, b := normalizeQueryText(c[0]), normalizeQueryText(c[1]); a != b {
+			t.Errorf("equivalent literals get distinct keys: %q=%q vs %q=%q", c[0], a, c[1], b)
+		}
+	}
+	// Canonical form is stable: normalizing twice changes nothing.
+	for _, in := range []string{
+		`{ ?s ?p "a\tb" }`, `{ ?s ?p "q\"uo\\te" }`, `{ ?s ?p "plain" }`,
+	} {
+		once := normalizeQueryText(in)
+		if twice := normalizeQueryText(once); twice != once {
+			t.Errorf("not idempotent: %q -> %q -> %q", in, once, twice)
+		}
+	}
+	// Distinct queries must never collide, even when one spells out the
+	// escape the other's content resembles.
+	distinct := [][2]string{
+		{`{ ?s ?p "a\tb" }`, `{ ?s ?p "atb" }`},
+		{`{ ?s ?p "a\\tb" }`, `{ ?s ?p "a\tb" }`},   // literal backslash-t vs tab
+		{`{ ?s ?p "a\\nb" }`, "{ ?s ?p \"a\nb\" }"}, // literal backslash-n vs newline
+		{`{ ?s ?p "a\"b" }`, `{ ?s ?p "a" }`},       // escaped quote is content
+		{`{ ?s ?p "a\xb" }`, `{ ?s ?p "axb" }`},     // invalid escape stays raw
+		{`{ ?s ?p "a\xb" }`, `{ ?s ?p "a\\xb" }`},   // ... and differs from the valid spelling
+		{`{ ?s ?p "unterminated`, `{ ?s ?p "unterminated"`},
+	}
+	for _, c := range distinct {
+		if a, b := normalizeQueryText(c[0]), normalizeQueryText(c[1]); a == b {
+			t.Errorf("distinct queries share key %q: %q vs %q", a, c[0], c[1])
+		}
+	}
+}
+
 func TestPlanCacheLRU(t *testing.T) {
 	c := newPlanCache(2)
 	p1, p2, p3 := &Prepared{text: "1"}, &Prepared{text: "2"}, &Prepared{text: "3"}

@@ -85,7 +85,12 @@ func (p *Prepared) ExecContext(ctx context.Context, opts ...Option) (*Results, e
 		return nil, err
 	}
 	res, err := core.ExecPlan(ctx, plan, cfg.engine.impl(), cfg.strategy,
-		core.ExecOptions{Parallelism: cfg.parallelism})
+		core.ExecOptions{
+			Parallelism: cfg.parallelism,
+			Limit:       cfg.limit,
+			LimitSet:    cfg.limit >= 0,
+			Offset:      cfg.offset,
+		})
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("sparqluo: query aborted: %w", err)

@@ -162,3 +162,10 @@ func (r *Results) TransformTime() time.Duration { return r.res.TransformTime }
 func (r *Results) JoinSpace() float64 {
 	return core.JoinSpace(r.res.Tree, r.res.Stats)
 }
+
+// RowsPulled returns the number of operand and index rows execution
+// drew from the engines' scans and the capped final operators — the
+// work metric LIMIT push-down shrinks. A query answered by early
+// termination reports far fewer pulled rows than the same query run to
+// completion.
+func (r *Results) RowsPulled() int { return r.res.Stats.RowsPulled }

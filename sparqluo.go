@@ -20,6 +20,26 @@
 // TT, CP, Full — Full is the default); the Engine option selects the
 // underlying BGP engine.
 //
+// # Solution modifiers and pagination
+//
+// Queries may carry the full set of W3C solution modifiers: ORDER BY
+// (ASC/DESC per key), LIMIT and OFFSET. ORDER BY is answered for free
+// when the plan's streaming joins already produce the requested order,
+// with a bounded-heap top-k when a LIMIT window is present, and with a
+// stable sort otherwise. A LIMIT without ORDER BY is pushed into
+// execution as true early termination: index scans, streaming merge
+// joins and the final join stop as soon as enough rows exist.
+//
+// For serving, WithLimit and WithOffset apply a per-execution window on
+// top of the query text without re-parsing or re-planning, so one
+// prepared (or plan-cached) query serves every page:
+//
+//	p, _ := db.Prepare(`SELECT ?x WHERE { ... } ORDER BY ?x`)
+//	page2, _ := p.Exec(sparqluo.WithLimit(20), sparqluo.WithOffset(20))
+//
+// Results.RowsPulled reports how many operand rows execution actually
+// drew — the observable effect of early termination.
+//
 // # Streaming results
 //
 // Results is a single-use cursor. Rows returns an iter.Seq2 over the
@@ -191,10 +211,12 @@ type queryConfig struct {
 	engine      Engine
 	parallelism int
 	bindings    map[string]Term
+	limit       int // exec-time row cap; -1 = none
+	offset      int // exec-time rows to skip; 0 = none
 }
 
 func defaultQueryConfig() queryConfig {
-	return queryConfig{strategy: Full, engine: WCO}
+	return queryConfig{strategy: Full, engine: WCO, limit: -1}
 }
 
 // WithStrategy selects the optimization strategy (default Full).
@@ -213,6 +235,37 @@ func WithEngine(e Engine) Option {
 // sequentially. Results are identical at every setting.
 func WithParallelism(n int) Option {
 	return func(c *queryConfig) { c.parallelism = n }
+}
+
+// WithLimit caps the number of solutions this execution returns, on top
+// of (never widening) any LIMIT in the query text. Unlike a textual
+// LIMIT it needs no re-parse or re-plan: one prepared (or plan-cached)
+// query serves every page size. n < 0 removes a previously set limit.
+//
+// The cap is pushed into execution as true early termination: pattern
+// scans, streaming merge joins and the final join or OPTIONAL fold stop
+// as soon as enough rows exist, and the rows returned are byte-identical
+// to the corresponding prefix of the unlimited result.
+func WithLimit(n int) Option {
+	return func(c *queryConfig) {
+		if n < 0 {
+			n = -1
+		}
+		c.limit = n
+	}
+}
+
+// WithOffset skips the first n solutions of this execution, composing
+// with any textual OFFSET/LIMIT window (the text window applies first).
+// Combined with WithLimit it implements cursor-style pagination over a
+// single prepared query. n <= 0 skips nothing.
+func WithOffset(n int) Option {
+	return func(c *queryConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.offset = n
+	}
 }
 
 // Bind substitutes a ground term for the named query variable (with or

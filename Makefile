@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-json snapshot-smoke fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-shard bench-json snapshot-smoke shard-smoke fuzz clean
 
 all: vet fmt-check build test
 
@@ -67,6 +67,13 @@ bench-join:
 bench-topk:
 	$(GO) test ./internal/bench -run 'LimitPushdown' -bench 'TopK' -benchmem -benchtime $(BENCHTIME)
 
+# Shard scaling on the Fig10 workload: the same queries through a
+# single store and through 2- and 4-way sharded stores with parallel
+# scatter-gather. CI runs this with -benchtime=1x as a smoke test; use
+# -benchtime=2s locally for real numbers.
+bench-shard:
+	$(GO) test ./internal/bench -run '^$$' -bench 'ShardScaling' -benchtime $(BENCHTIME)
+
 # Machine-readable bench table: join micro-benchmarks + the Fig10 query
 # workload as JSON, committed per PR (BENCH_<n>.json) so the perf
 # trajectory is diffable across history. The PR number defaults to the
@@ -96,11 +103,31 @@ snapshot-smoke:
 	echo "snapshot-smoke: $$(wc -l < $$tmp/parsed.out | tr -d ' ') identical solutions from image and N-Triples"; \
 	rm -rf $$tmp
 
+# End-to-end sharding smoke: write the same dataset as one snapshot
+# image and as a 3-way shard set, run the same query against both
+# through sparql-uo's magic auto-detection, and require byte-identical
+# solutions — the determinism guarantee, exercised through the CLI.
+shard-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	q='PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> SELECT * WHERE { { ?x ub:advisor ?y . } UNION { ?x ub:headOf ?y . } OPTIONAL { ?y ub:name ?n } }'; \
+	$(GO) run ./cmd/datagen -dataset lubm -scale 2 -snapshot $$tmp/g.img; \
+	$(GO) run ./cmd/datagen -dataset lubm -scale 2 -snapshot $$tmp/g.shards -shards 3; \
+	$(GO) run ./cmd/sparql-uo -data $$tmp/g.img -q "$$q" -limit 0 | tail -n +3 > $$tmp/single.out; \
+	$(GO) run ./cmd/sparql-uo -data $$tmp/g.shards -q "$$q" -limit 0 | tail -n +3 > $$tmp/sharded.out; \
+	if ! cmp -s $$tmp/single.out $$tmp/sharded.out; then \
+		echo "shard-smoke: sharded results differ from single store:"; \
+		diff $$tmp/single.out $$tmp/sharded.out | head -20; rm -rf $$tmp; exit 1; fi; \
+	if ! test -s $$tmp/single.out; then \
+		echo "shard-smoke: query returned no solutions"; rm -rf $$tmp; exit 1; fi; \
+	echo "shard-smoke: $$(wc -l < $$tmp/single.out | tr -d ' ') identical solutions from sharded and single stores"; \
+	rm -rf $$tmp
+
 # Short fuzz smoke for every fuzz target; CI runs this with FUZZTIME=10s.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sparql/
 	$(GO) test -run '^$$' -fuzz FuzzNTriples -fuzztime $(FUZZTIME) ./internal/rdf/
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotLoad -fuzztime $(FUZZTIME) ./internal/snapshot/
+	$(GO) test -run '^$$' -fuzz FuzzManifest -fuzztime $(FUZZTIME) ./internal/snapshot/
 
 clean:
 	$(GO) clean -testcache

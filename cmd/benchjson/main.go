@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -21,6 +23,8 @@ import (
 	"sparqluo/internal/bench"
 	"sparqluo/internal/benchbags"
 	"sparqluo/internal/core"
+	"sparqluo/internal/sparql"
+	"sparqluo/internal/store"
 )
 
 // Micro is one micro-benchmark record.
@@ -44,10 +48,29 @@ type WorkloadRow struct {
 	PreparedMs float64 `json:"prepared_ms"`
 }
 
+// ShardRow is one (query, shard count) measurement of the Fig10
+// workload through a range-partitioned sharded store with the parallel
+// evaluator. k=1 exercises the sharded code path with a single shard,
+// so its delta against the workload table is the wrapper's overhead.
+// The scatter pool holds min(k, GOMAXPROCS)-1 workers, so the k>1
+// speedup column only moves on hosts with spare cores.
+type ShardRow struct {
+	Query    string  `json:"query"`
+	Dataset  string  `json:"dataset"`
+	Engine   string  `json:"engine"`
+	Shards   int     `json:"shards"`
+	Results  int     `json:"results"`
+	PlainMs  float64 `json:"plain_ms"`
+	ExecMs   float64 `json:"exec_ms"`
+	SpeedupX float64 `json:"speedup_vs_k1"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	Micro    []Micro       `json:"microbench"`
 	Workload []WorkloadRow `json:"workload"`
+	Shard    []ShardRow    `json:"shard_scaling"`
+	NumCPU   int           `json:"num_cpu"`
 }
 
 func main() {
@@ -55,7 +78,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per workload measurement")
 	flag.Parse()
 
-	rep := Report{}
+	rep := Report{NumCPU: runtime.NumCPU()}
 	rep.Micro = microBench()
 	w, err := workload(*reps)
 	if err != nil {
@@ -63,6 +86,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Workload = w
+	s, err := shardScaling(*reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Shard = s
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -190,6 +219,86 @@ func workload(reps int) ([]WorkloadRow, error) {
 						PreparedMs: ms(m.Prepared),
 					})
 				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// shardScaling times the Fig10 workload through 1-, 2- and 4-way
+// sharded stores with the parallel evaluator (min of reps runs), and
+// derives the speedup of each shard count over k=1 per query. An
+// unsharded baseline (plain_ms) is measured interleaved with the shard
+// runs, so the k=1 wrapper overhead is read off the same table under
+// identical conditions. Result counts are cross-checked against the
+// single store so the numbers can never come from a shard that dropped
+// rows.
+func shardScaling(reps int) ([]ShardRow, error) {
+	var rows []ShardRow
+	engine := bench.Engines[0]
+	for _, dataset := range []string{"LUBM", "DBpedia"} {
+		st := bench.StoreFor(dataset)
+		for _, q := range bench.Group1(dataset) {
+			parsed, err := sparql.Parse(q.Text)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", q.ID, err)
+			}
+			ref, err := core.Run(parsed, st, engine, core.Full)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", q.ID, err)
+			}
+			measure := func(rd store.Reader, label string) (time.Duration, int, error) {
+				runtime.GC() // the shard copies are big; keep GC out of the timed region
+				var best time.Duration
+				var results int
+				for rep := 0; rep < reps; rep++ {
+					res, err := core.RunContext(context.Background(), parsed, rd,
+						engine, core.Full, core.ExecOptions{Parallelism: 0})
+					if err != nil {
+						return 0, 0, fmt.Errorf("%s %s: %w", q.ID, label, err)
+					}
+					if res.Bag.Len() != ref.Bag.Len() {
+						return 0, 0, fmt.Errorf("%s %s: %d results, single store %d",
+							q.ID, label, res.Bag.Len(), ref.Bag.Len())
+					}
+					results = res.Bag.Len()
+					if rep == 0 || res.ExecTime < best {
+						best = res.ExecTime
+					}
+				}
+				return best, results, nil
+			}
+			plain, _, err := measure(st, "plain")
+			if err != nil {
+				return nil, err
+			}
+			var k1 time.Duration
+			for _, k := range []int{1, 2, 4} {
+				rd, err := bench.Sharded(st, k)
+				if err != nil {
+					return nil, fmt.Errorf("%s k=%d: %w", q.ID, k, err)
+				}
+				best, results, err := measure(rd, fmt.Sprintf("k=%d", k))
+				if err != nil {
+					return nil, err
+				}
+				if k == 1 {
+					k1 = best
+				}
+				speedup := 0.0
+				if best > 0 {
+					speedup = float64(k1) / float64(best)
+				}
+				rows = append(rows, ShardRow{
+					Query:    q.ID,
+					Dataset:  dataset,
+					Engine:   engine.Name(),
+					Shards:   k,
+					Results:  results,
+					PlainMs:  ms(plain),
+					ExecMs:   ms(best),
+					SpeedupX: speedup,
+				})
 			}
 		}
 	}

@@ -12,6 +12,13 @@
 //
 //	datagen -dataset lubm -scale 13 -snapshot lubm13.img
 //
+// With -shards k (k > 1), the snapshot is instead written as k
+// subject-range shard images plus a CRC-checked manifest at the
+// -snapshot path; sparql-server and sparql-uo open the manifest
+// directly and serve the shards with parallel scatter-gather:
+//
+//	datagen -dataset lubm -scale 13 -snapshot lubm13.shards -shards 4
+//
 // -out and -snapshot may be combined to produce both representations of
 // the same dataset in one run; with -snapshot alone, no N-Triples are
 // written.
@@ -35,6 +42,7 @@ func main() {
 		scale    = flag.Int("scale", 13, "universities (lubm) or entities (dbpedia)")
 		out      = flag.String("out", "", "N-Triples output file (default stdout; \"-\" forces stdout)")
 		snapPath = flag.String("snapshot", "", "also write a binary snapshot image to this path")
+		shards   = flag.Int("shards", 1, "with -snapshot: split into this many subject-range shard images plus a manifest")
 		memStats = flag.Bool("stats", false, "also load+freeze a store and report index memory to stderr")
 	)
 	flag.Parse()
@@ -80,7 +88,22 @@ func main() {
 		if *memStats {
 			fmt.Fprintf(os.Stderr, "datagen: store %s\n", st.MemStats())
 		}
-		if *snapPath != "" {
+		if *snapPath != "" && *shards > 1 {
+			paths, err := snapshot.WriteShards(*snapPath, st, *shards)
+			if err != nil {
+				fatal(err)
+			}
+			var total int64
+			for _, p := range paths {
+				fi, err := os.Stat(p)
+				if err != nil {
+					fatal(err)
+				}
+				total += fi.Size()
+			}
+			fmt.Fprintf(os.Stderr, "datagen: wrote %d shard images + manifest %s (%d triples, %d bytes)\n",
+				*shards, *snapPath, st.NumTriples(), total)
+		} else if *snapPath != "" {
 			if err := snapshot.WriteFile(*snapPath, st); err != nil {
 				fatal(err)
 			}

@@ -8,12 +8,16 @@
 //	curl 'http://localhost:8085/stats'
 //	curl 'http://localhost:8085/healthz'
 //
-// -data accepts either an N-Triples document or a binary snapshot image
-// written by `datagen -snapshot` / DB.WriteSnapshot — the two are told
-// apart by the image magic. N-Triples are parsed and indexed at boot
-// (O(n log n)); a snapshot is memory-mapped and served immediately, the
-// intended cold-start path for production replicas and shard spawns.
-// Startup logs report which path ran and how long it took.
+// -data accepts an N-Triples document, a binary snapshot image written
+// by `datagen -snapshot` / DB.WriteSnapshot, or a shard manifest
+// written by `datagen -shards k` / DB.WriteShards — told apart by
+// leading magic bytes. N-Triples are parsed and indexed at boot
+// (O(n log n)); a snapshot or shard set is memory-mapped and served
+// immediately, the intended cold-start path for production replicas. A
+// sharded set scatters index scans across the shards in parallel and
+// gathers results in deterministic global order, so responses are
+// byte-identical to a single-store server. Startup logs report which
+// path ran and how long it took.
 //
 // -timeout caps each query's wall-clock time (504 on expiry), -max-inflight
 // bounds concurrently evaluating queries (503 when saturated), and
@@ -78,10 +82,11 @@ func openData(path string) (*sparqluo.DB, string, error) {
 		return nil, "", err
 	}
 	verb := "parsed+froze"
-	if source == "snapshot" {
+	if source == "snapshot" || source == "shards" {
 		verb = "mapped"
 	}
-	log.Printf("source=%s %s %s in %v (%d triples)", source, verb, path, time.Since(start), db.NumTriples())
-	log.Printf("store %s", db.Store().MemStats())
+	log.Printf("source=%s %s %s in %v (%d triples, %d shards)",
+		source, verb, path, time.Since(start), db.NumTriples(), db.NumShards())
+	log.Printf("store %s", db.MemStats())
 	return db, source, nil
 }

@@ -178,11 +178,13 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "triples: %d\n", db.NumTriples())
+		fmt.Fprintf(w, "shards: %d\n", db.NumShards())
 		if s := db.st.Stats(); s != nil {
 			fmt.Fprintf(w, "entities: %d\npredicates: %d\nliterals: %d\n",
 				s.NumEntities, s.NumPreds, s.NumLiterals)
 			// MemStats may (re)build indexes on an unfrozen store, so
 			// only report it once frozen, where it is a pure read.
+			// For a sharded database it aggregates across shards.
 			m := db.st.MemStats()
 			fmt.Fprintf(w, "dict-bytes: %d\nmemory: %s\n", m.DictBytes, m)
 		}
@@ -199,7 +201,7 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			http.Error(w, "loading: store not frozen yet", http.StatusServiceUnavailable)
 			return
 		}
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "ok\nshards: %d\n", db.NumShards())
 	})
 	return mux
 }

@@ -1,0 +1,104 @@
+package algebra
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sparqluo/internal/store"
+)
+
+// randomSortedParts builds n bags of random rows, each sorted on seq,
+// and returns them plus the globally sorted concatenation (the expected
+// merge output). Ties across parts are resolved by part index, matching
+// MergeSortedBags' stability contract.
+func randomSortedParts(rng *rand.Rand, n, width int, seq []int) (parts []*Bag, want []Row) {
+	type keyed struct {
+		row  Row
+		part int
+	}
+	var all []keyed
+	for p := 0; p < n; p++ {
+		b := NewBag(width)
+		rows := rng.Intn(12)
+		for i := 0; i < rows; i++ {
+			r := make(Row, width)
+			for j := range r {
+				r[j] = store.ID(rng.Intn(5) + 1)
+			}
+			b.Append(r)
+		}
+		b = SortBy(b, seq)
+		for i := 0; i < b.Len(); i++ {
+			all = append(all, keyed{append(Row(nil), b.Row(i)...), p})
+		}
+		parts = append(parts, b)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if c := compareOn(all[i].row, all[j].row, seq); c != 0 {
+			return c < 0
+		}
+		return all[i].part < all[j].part
+	})
+	for _, k := range all {
+		want = append(want, k.row)
+	}
+	return parts, want
+}
+
+func TestMergeSortedBags(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(3)
+		seq := rng.Perm(width)[:1+rng.Intn(width)]
+		parts, want := randomSortedParts(rng, 1+rng.Intn(5), width, seq)
+		for _, max := range []int{-1, 0, 1, len(want) / 2, len(want), len(want) + 3} {
+			dst := NewBag(width)
+			MergeSortedBags(dst, parts, seq, max)
+			wantN := len(want)
+			if max >= 0 && max < wantN {
+				wantN = max
+			}
+			if dst.Len() != wantN {
+				t.Fatalf("trial %d max=%d: merged %d rows, want %d", trial, max, dst.Len(), wantN)
+			}
+			for i := 0; i < wantN; i++ {
+				got := dst.Row(i)
+				if len(got) != width {
+					t.Fatalf("trial %d: row %d has width %d", trial, i, len(got))
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Fatalf("trial %d max=%d: row %d = %v, want %v", trial, max, i, got, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeSortedBagsSingleLive: with exactly one non-empty input the
+// merge must still produce that input's prefix (the fast path).
+func TestMergeSortedBagsSingleLive(t *testing.T) {
+	src := NewBag(2)
+	for i := 1; i <= 5; i++ {
+		src.Append(Row{store.ID(i), store.ID(10 - i)})
+	}
+	empty := NewBag(2)
+	for _, max := range []int{-1, 3, 10} {
+		dst := NewBag(2)
+		MergeSortedBags(dst, []*Bag{empty, src, empty}, []int{0}, max)
+		wantN := 5
+		if max >= 0 && max < wantN {
+			wantN = max
+		}
+		if dst.Len() != wantN {
+			t.Fatalf("max=%d: got %d rows, want %d", max, dst.Len(), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			if dst.Row(i)[0] != store.ID(i+1) {
+				t.Fatalf("max=%d: row %d = %v", max, i, dst.Row(i))
+			}
+		}
+	}
+}

@@ -42,7 +42,7 @@ var Reps = 3
 // wall-clock of ExecPlan on a plan built once outside the loop, i.e.
 // what a prepared-query workload pays per execution (Prepared) — so
 // speedups are observed rather than assumed.
-func RunOne(st *store.Store, q Query, engine exec.Engine, strat core.Strategy) (Measurement, error) {
+func RunOne(st store.Reader, q Query, engine exec.Engine, strat core.Strategy) (Measurement, error) {
 	parsed, err := sparql.Parse(q.Text)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("%s: %w", q.ID, err)
@@ -112,7 +112,7 @@ func RunOne(st *store.Store, q Query, engine exec.Engine, strat core.Strategy) (
 }
 
 // RunStrategies executes a query under all four strategies with one engine.
-func RunStrategies(st *store.Store, q Query, engine exec.Engine) ([]Measurement, error) {
+func RunStrategies(st store.Reader, q Query, engine exec.Engine) ([]Measurement, error) {
 	var out []Measurement
 	for _, strat := range core.Strategies {
 		m, err := RunOne(st, q, engine, strat)

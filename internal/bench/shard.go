@@ -1,0 +1,17 @@
+package bench
+
+import "sparqluo/internal/store"
+
+// Sharded range-partitions a frozen store into k subject shards and
+// wraps them in a sharded reader carrying the store's global
+// statistics — the same object OpenShards assembles from a shard
+// manifest, built in memory for experiments. k=1 exercises the sharded
+// code path with a single shard (the overhead-measurement baseline),
+// not the plain store.
+func Sharded(st *store.Store, k int) (store.Reader, error) {
+	shards, bounds, err := st.ShardBySubject(k)
+	if err != nil {
+		return nil, err
+	}
+	return store.NewShardedStore(shards, bounds, st.Stats())
+}

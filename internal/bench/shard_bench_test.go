@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sparqluo/internal/core"
+	"sparqluo/internal/sparql"
+)
+
+// BenchmarkShardScaling runs the Fig10 workload through 1-, 2- and
+// 4-way sharded stores with the parallel evaluator, against the same
+// data. k=1 measures the sharded wrapper's overhead over a monolithic
+// store (it must stay negligible: MatchPattern unwraps single-shard
+// readers); k=2 and k=4 show the scatter-gather speedup on scan-heavy
+// queries. Every run is checked against the single store's result size,
+// so a shard that drops or duplicates rows fails the benchmark.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, dataset := range []string{"LUBM"} {
+		st := StoreFor(dataset)
+		for _, q := range Group1(dataset) {
+			parsed, err := sparql.Parse(q.Text)
+			if err != nil {
+				b.Fatalf("%s: %v", q.ID, err)
+			}
+			ref, err := core.Run(parsed, st, Engines[0], core.Full)
+			if err != nil {
+				b.Fatalf("%s: %v", q.ID, err)
+			}
+			for _, k := range []int{1, 2, 4} {
+				rd, err := Sharded(st, k)
+				if err != nil {
+					b.Fatalf("Sharded(%d): %v", k, err)
+				}
+				b.Run(fmt.Sprintf("%s/%s/k=%d", dataset, q.ID, k), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res, err := core.RunContext(context.Background(), parsed, rd,
+							Engines[0], core.Full, core.ExecOptions{Parallelism: 0})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Bag.Len() != ref.Bag.Len() {
+							b.Fatalf("k=%d returned %d results, single store %d",
+								k, res.Bag.Len(), ref.Bag.Len())
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -121,7 +121,7 @@ func (t *Tree) Clone() *Tree {
 // dictionary: triple patterns are encoded, sibling triple patterns are
 // coalesced into maximal BGP nodes (Definitions 3–5), and each BGP node is
 // placed where its leftmost constituent triple pattern originally resided.
-func Build(q *sparql.Query, st *store.Store) (*Tree, error) {
+func Build(q *sparql.Query, st store.Reader) (*Tree, error) {
 	t := &Tree{
 		Vars:     algebra.NewVarSet(),
 		Select:   q.Select,
@@ -162,7 +162,7 @@ func Build(q *sparql.Query, st *store.Store) (*Tree, error) {
 	return t, nil
 }
 
-func buildGroup(g *sparql.Group, st *store.Store, vars *algebra.VarSet) (*GroupNode, error) {
+func buildGroup(g *sparql.Group, st store.Reader, vars *algebra.VarSet) (*GroupNode, error) {
 	node := &GroupNode{}
 	for _, e := range g.Elements {
 		switch e := e.(type) {
@@ -205,7 +205,7 @@ func buildGroup(g *sparql.Group, st *store.Store, vars *algebra.VarSet) (*GroupN
 	return node, nil
 }
 
-func encodePattern(tp sparql.TriplePattern, st *store.Store, vars *algebra.VarSet) exec.Pattern {
+func encodePattern(tp sparql.TriplePattern, st store.Reader, vars *algebra.VarSet) exec.Pattern {
 	enc := func(tv sparql.TermOrVar) exec.Pos {
 		if tv.IsVar {
 			return exec.Var(vars.Intern(tv.Var))

@@ -19,7 +19,7 @@ import (
 // Result sizes of non-BGP nodes follow the assumed distribution of §5.1.1:
 // joins (AND, OPTIONAL) multiply, UNION adds.
 type costModel struct {
-	st     *store.Store
+	st     store.Reader
 	engine exec.Engine
 	// ctx bounds the sampling estimators; nil means non-cancellable.
 	// After cancellation estimates are garbage, which is fine: the whole

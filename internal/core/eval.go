@@ -61,7 +61,7 @@ func (s *EvalStats) merge(o *EvalStats) {
 // by the spawning goroutine.
 type evaluator struct {
 	ctx    context.Context
-	st     *store.Store
+	st     store.Reader
 	engine exec.Engine
 	width  int
 	prune  Pruning
@@ -88,7 +88,7 @@ func (ev *evaluator) branch() *evaluator {
 // sequential and non-cancellable; it is the legacy entry point kept for
 // the experiment harness and tests, equivalent to EvaluateContext with a
 // background context and parallelism 1.
-func Evaluate(t *Tree, st *store.Store, engine exec.Engine, prune Pruning) (*algebra.Bag, *EvalStats) {
+func Evaluate(t *Tree, st store.Reader, engine exec.Engine, prune Pruning) (*algebra.Bag, *EvalStats) {
 	bag, stats, _ := EvaluateContext(context.Background(), t, st, engine, prune, 1)
 	return bag, stats
 }
@@ -102,7 +102,7 @@ func Evaluate(t *Tree, st *store.Store, engine exec.Engine, prune Pruning) (*alg
 // The context is observed between node evaluations and inside the
 // engines' join loops: when it is cancelled or its deadline passes,
 // evaluation stops promptly and ctx.Err() is returned.
-func EvaluateContext(ctx context.Context, t *Tree, st *store.Store, engine exec.Engine, prune Pruning, parallelism int) (*algebra.Bag, *EvalStats, error) {
+func EvaluateContext(ctx context.Context, t *Tree, st store.Reader, engine exec.Engine, prune Pruning, parallelism int) (*algebra.Bag, *EvalStats, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}

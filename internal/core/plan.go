@@ -19,7 +19,7 @@ import (
 // only the per-execution transform+evaluate cost.
 type Plan struct {
 	Tree *Tree
-	st   *store.Store
+	st   store.Reader
 }
 
 // BuildPlan constructs the execution plan of a parsed query against a
@@ -27,7 +27,7 @@ type Plan struct {
 // dictionary-encoded and sibling patterns coalesced into maximal BGPs.
 // The store must be frozen before the plan is executed (statistics
 // drive the cost model).
-func BuildPlan(q *sparql.Query, st *store.Store) (*Plan, error) {
+func BuildPlan(q *sparql.Query, st store.Reader) (*Plan, error) {
 	tree, err := Build(q, st)
 	if err != nil {
 		return nil, err
@@ -36,7 +36,7 @@ func BuildPlan(q *sparql.Query, st *store.Store) (*Plan, error) {
 }
 
 // Store returns the store the plan was built against.
-func (p *Plan) Store() *store.Store { return p.st }
+func (p *Plan) Store() store.Reader { return p.st }
 
 // Clone returns a deep copy of the plan (sharing the store and the
 // immutable variable table).

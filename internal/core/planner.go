@@ -86,7 +86,7 @@ type ExecOptions struct {
 // Run plans and executes a parsed query with the given strategy and BGP
 // engine, sequentially and without cancellation. The store must be
 // frozen (for statistics).
-func Run(q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy) (*Result, error) {
+func Run(q *sparql.Query, st store.Reader, engine exec.Engine, strat Strategy) (*Result, error) {
 	return RunContext(context.Background(), q, st, engine, strat, ExecOptions{Parallelism: 1})
 }
 
@@ -95,7 +95,7 @@ func Run(q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy) (
 // composition of BuildPlan and ExecPlan; callers that execute the same
 // query repeatedly should build the plan once and call ExecPlan per
 // execution instead.
-func RunContext(ctx context.Context, q *sparql.Query, st *store.Store, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
+func RunContext(ctx context.Context, q *sparql.Query, st store.Reader, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
 	plan, err := BuildPlan(q, st)
 	if err != nil {
 		return nil, err
@@ -106,7 +106,7 @@ func RunContext(ctx context.Context, q *sparql.Query, st *store.Store, engine ex
 // RunTree executes an already-built BE-tree with the given strategy,
 // sequentially and without cancellation. The input tree is not modified
 // (transforming strategies clone it).
-func RunTree(t *Tree, st *store.Store, engine exec.Engine, strat Strategy) *Result {
+func RunTree(t *Tree, st store.Reader, engine exec.Engine, strat Strategy) *Result {
 	res, _ := RunTreeContext(context.Background(), t, st, engine, strat, ExecOptions{Parallelism: 1})
 	return res
 }
@@ -116,7 +116,7 @@ func RunTree(t *Tree, st *store.Store, engine exec.Engine, strat Strategy) *Resu
 // the worker pool configured in opts. The input tree is not modified
 // (transforming strategies clone it). On cancellation the ctx error is
 // returned and the Result is nil.
-func RunTreeContext(ctx context.Context, t *Tree, st *store.Store, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
+func RunTreeContext(ctx context.Context, t *Tree, st store.Reader, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
 	t = applyWindow(t, opts)
 	res := &Result{Vars: t.Vars}
 	work := t

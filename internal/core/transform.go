@@ -32,7 +32,7 @@ type Transformer struct {
 
 // NewTransformer returns a Transformer using the given store statistics
 // and BGP engine estimators.
-func NewTransformer(st *store.Store, engine exec.Engine) *Transformer {
+func NewTransformer(st store.Reader, engine exec.Engine) *Transformer {
 	return &Transformer{cm: &costModel{st: st, engine: engine}}
 }
 
@@ -40,7 +40,7 @@ func NewTransformer(st *store.Store, engine exec.Engine) *Transformer {
 // sampling estimators: once ctx is cancelled the cost model stops
 // sampling and the transformation finishes quickly with meaningless
 // Δ-costs, which the caller discards along with the plan.
-func NewTransformerContext(ctx context.Context, st *store.Store, engine exec.Engine) *Transformer {
+func NewTransformerContext(ctx context.Context, st store.Reader, engine exec.Engine) *Transformer {
 	return &Transformer{cm: &costModel{st: st, engine: engine, ctx: ctx}}
 }
 

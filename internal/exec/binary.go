@@ -23,7 +23,7 @@ func (BinaryJoinEngine) Name() string { return "binary" }
 // avoid cartesian products. Cancellation is polled during scans and
 // between joins; a cancelled call may return a truncated bag, which only
 // callers ignoring ctx.Err() observe.
-func (e BinaryJoinEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+func (e BinaryJoinEngine) EvalBGP(ctx context.Context, st store.Reader, bgp BGP, width int, cand Candidates) *algebra.Bag {
 	return e.EvalBGPTop(ctx, st, bgp, width, cand, -1, nil)
 }
 
@@ -39,7 +39,7 @@ func (e BinaryJoinEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP,
 //
 // All tiers emit in exactly the order the uncapped evaluation would, so
 // the result is a byte-identical prefix of EvalBGP's bag.
-func (BinaryJoinEngine) EvalBGPTop(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag {
+func (BinaryJoinEngine) EvalBGPTop(ctx context.Context, st store.Reader, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag {
 	if len(bgp) == 0 {
 		if max == 0 {
 			return algebra.NewBag(width)
@@ -104,7 +104,12 @@ func (BinaryJoinEngine) EvalBGPTop(ctx context.Context, st *store.Store, bgp BGP
 // zero-cost "interesting order" the order-aware joins dispatch on.
 // max >= 0 stops the index scan after max emitted rows; pulled, when
 // non-nil, accumulates the number of rows the scan drew.
-func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates, poll *ctxPoll, max int, pulled *int) *algebra.Bag {
+func scanPattern(st store.Reader, pat Pattern, width int, cand Candidates, poll *ctxPoll, max int, pulled *int) *algebra.Bag {
+	if sh, ok := shardedFor(st); ok && scatterable(pat, cand) {
+		if out, ok := scatterScan(sh, pat, width, cand, poll, max, pulled); ok {
+			return out
+		}
+	}
 	out := algebra.NewBag(width)
 	for _, v := range pat.Vars() {
 		out.Cert.Set(v)
@@ -130,7 +135,7 @@ func scanPattern(st *store.Store, pat Pattern, width int, cand Candidates, poll 
 // cursor: rows come out one at a time, and dropping the cursor (stop)
 // terminates the underlying index scan. Each row is cloned out of the
 // scratch buffer so it survives the next pull.
-func patternCursor(st *store.Store, pat Pattern, width int) (next func() (algebra.Row, bool), stop func()) {
+func patternCursor(st store.Reader, pat Pattern, width int) (next func() (algebra.Row, bool), stop func()) {
 	return iter.Pull(func(yield func(algebra.Row) bool) {
 		seed := make(algebra.Row, width)
 		MatchPattern(st, pat, seed, nil, func(nr algebra.Row) bool {
@@ -147,7 +152,7 @@ func patternCursor(st *store.Store, pat Pattern, width int) (next func() (algebr
 // plan and no extra compatibility check is needed), and mirrors
 // mergeJoin's a-major group emission exactly, making its capped output
 // byte-identical to the materializing path's prefix.
-func streamMergeTop(st *store.Store, a, b Pattern, width int, poll *ctxPoll, max int, pulled *int) (*algebra.Bag, bool) {
+func streamMergeTop(st store.Reader, a, b Pattern, width int, poll *ctxPoll, max int, pulled *int) (*algebra.Bag, bool) {
 	var keys []int
 	bVars := map[int]bool{}
 	for _, v := range b.Vars() {
@@ -275,7 +280,7 @@ func neverBound(int) bool { return false }
 
 // EstimateCard implements Engine via the shared sampling estimator over
 // the ascending-size order.
-func (BinaryJoinEngine) EstimateCard(ctx context.Context, st *store.Store, bgp BGP) float64 {
+func (BinaryJoinEngine) EstimateCard(ctx context.Context, st store.Reader, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 1
 	}
@@ -296,7 +301,7 @@ func (BinaryJoinEngine) EstimateCard(ctx context.Context, st *store.Store, bgp B
 // covering the join keys runs as a streaming merge join at execution
 // time, skipping the hash-build pass over the smaller side, so its cost
 // is min + max instead of 2·min + max.
-func (BinaryJoinEngine) EstimateCost(ctx context.Context, st *store.Store, bgp BGP) float64 {
+func (BinaryJoinEngine) EstimateCost(ctx context.Context, st store.Reader, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 0
 	}
@@ -342,7 +347,7 @@ func (BinaryJoinEngine) EstimateCost(ctx context.Context, st *store.Store, bgp B
 
 // sortedOrder orders patterns by ascending exact count, preferring
 // connected patterns to avoid products (stable within the constraint).
-func sortedOrder(st *store.Store, bgp BGP) []int {
+func sortedOrder(st store.Reader, bgp BGP) []int {
 	n := len(bgp)
 	idx := make([]int, n)
 	for i := range idx {

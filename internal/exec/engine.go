@@ -20,7 +20,7 @@ type Engine interface {
 	// long joins and may return a truncated bag once it is cancelled;
 	// callers that pass a cancellable context must check ctx.Err()
 	// before trusting the result.
-	EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag
+	EvalBGP(ctx context.Context, st store.Reader, bgp BGP, width int, cand Candidates) *algebra.Bag
 	// EvalBGPTop is EvalBGP with LIMIT push-down: when max >= 0 the
 	// engine may stop as soon as max result rows exist, and the rows it
 	// returns must be exactly the first max rows EvalBGP would produce
@@ -29,16 +29,16 @@ type Engine interface {
 	// cap and the call is equivalent to EvalBGP. pulled, when non-nil,
 	// accumulates the number of index/operand rows the evaluation drew —
 	// the early-termination metric surfaced in EvalStats.
-	EvalBGPTop(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag
+	EvalBGPTop(ctx context.Context, st store.Reader, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag
 	// EstimateCard estimates |res(BGP)| using the sampling-based
 	// cardinality estimator of §5.1.2. A cancelled ctx truncates the
 	// sampling walk; the estimate is then meaningless and the caller is
 	// expected to abandon the plan.
-	EstimateCard(ctx context.Context, st *store.Store, bgp BGP) float64
+	EstimateCard(ctx context.Context, st store.Reader, bgp BGP) float64
 	// EstimateCost estimates the engine-specific execution cost of the
 	// BGP (WCO-join cost or binary-join cost), under the same
 	// cancellation contract as EstimateCard.
-	EstimateCost(ctx context.Context, st *store.Store, bgp BGP) float64
+	EstimateCost(ctx context.Context, st store.Reader, bgp BGP) float64
 }
 
 // sampleSize caps the number of partial results carried by the sampling
@@ -80,11 +80,11 @@ func (c *ctxPoll) done() bool {
 // sample of the current partial results is extended and the estimate
 // scaled by #extend/#sample (floored at 1).
 type estimator struct {
-	st    *store.Store
+	st    store.Reader
 	width int
 }
 
-func newEstimator(st *store.Store, bgp BGP) *estimator {
+func newEstimator(st store.Reader, bgp BGP) *estimator {
 	width := 0
 	for _, v := range bgp.Vars() {
 		if v+1 > width {
@@ -161,7 +161,7 @@ func (e *estimator) sampleSingle(pat Pattern) []algebra.Row {
 // (sharing a variable with the chosen set) with the smallest exact count,
 // falling back to the globally smallest remaining pattern when the BGP is
 // disconnected.
-func greedyOrder(st *store.Store, bgp BGP) []int {
+func greedyOrder(st store.Reader, bgp BGP) []int {
 	n := len(bgp)
 	order := make([]int, 0, n)
 	used := make([]bool, n)

@@ -151,9 +151,16 @@ func bindEmit(pat Pattern, row, scratch algebra.Row, s, p, o store.ID, cand Cand
 //
 // Matches are emitted in the physical order of the permutation range the
 // pattern reads; MatchOrder reports that order as a variable sequence.
-func MatchPattern(st *store.Store, pat Pattern, row algebra.Row, cand Candidates, emit func(algebra.Row) bool) {
+func MatchPattern(st store.Reader, pat Pattern, row algebra.Row, cand Candidates, emit func(algebra.Row) bool) {
 	if pat.Impossible() {
 		return
+	}
+	if sh, ok := st.(store.ShardedReader); ok {
+		if sh.NumShards() > 1 {
+			matchPatternSharded(sh, pat, row, cand, emit)
+			return
+		}
+		st = sh.Shard(0) // single shard: identical content, no indirection
 	}
 	scratch := make(algebra.Row, len(row))
 	s, sb := resolve(pat.S, row)
@@ -290,7 +297,7 @@ func sortedSet(s map[store.ID]struct{}) []store.ID {
 
 // ExactCount returns the exact number of matches of a single pattern with
 // no prior bindings (candidate sets ignored), read off the indexes.
-func ExactCount(st *store.Store, pat Pattern) int {
+func ExactCount(st store.Reader, pat Pattern) int {
 	if pat.Impossible() {
 		return 0
 	}
@@ -344,7 +351,7 @@ func ExactCount(st *store.Store, pat Pattern) int {
 // MatchPattern takes could differ per seed row (a candidate probe gated
 // on a row-dependent count with a different enumeration order), the
 // divergent tail is dropped. An empty sequence promises nothing.
-func MatchOrder(st *store.Store, pat Pattern, bound func(int) bool, cand Candidates) []int {
+func MatchOrder(st store.Reader, pat Pattern, bound func(int) bool, cand Candidates) []int {
 	if pat.Impossible() {
 		return nil
 	}

@@ -27,7 +27,7 @@ func (WCOEngine) Name() string { return "wco" }
 // parent row, so the concatenated per-step MatchOrder sequences are a
 // lexicographic sort of the output — the "interesting order" the
 // order-aware joins downstream consume.
-func (e WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates) *algebra.Bag {
+func (e WCOEngine) EvalBGP(ctx context.Context, st store.Reader, bgp BGP, width int, cand Candidates) *algebra.Bag {
 	return e.EvalBGPTop(ctx, st, bgp, width, cand, -1, nil)
 }
 
@@ -38,7 +38,7 @@ func (e WCOEngine) EvalBGP(ctx context.Context, st *store.Store, bgp BGP, width 
 // is deterministic, so the capped bag is a byte-identical prefix of the
 // full result. pulled accumulates the rows appended across all levels,
 // the engine's work metric.
-func (WCOEngine) EvalBGPTop(ctx context.Context, st *store.Store, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag {
+func (WCOEngine) EvalBGPTop(ctx context.Context, st store.Reader, bgp BGP, width int, cand Candidates, max int, pulled *int) *algebra.Bag {
 	out := algebra.NewBag(width)
 	for _, v := range bgp.Vars() {
 		out.Cert.Set(v)
@@ -84,21 +84,41 @@ func (WCOEngine) EvalBGPTop(ctx context.Context, st *store.Store, bgp BGP, width
 		}
 		next := algebra.NewBag(width)
 		full := func() bool { return last && max >= 0 && next.Len() >= max }
-		for i := 0; i < rows.Len(); i++ {
-			MatchPattern(st, pat, rows.Row(i), cand, func(nr algebra.Row) bool {
-				if poll.stopped {
-					return false // cancelled mid-scan: stop accumulating
+		scattered := false
+		if li == 0 {
+			// The seed level extends the unit mapping — a fresh whole-pattern
+			// scan, which can fan out across shards and recombine in the
+			// same deterministic order the sequential scan would produce.
+			if sh, ok := shardedFor(st); ok && scatterable(pat, cand) {
+				scanMax := -1
+				if last && max >= 0 {
+					scanMax = max
 				}
-				next.Append(nr)
-				n++
-				poll.tick()
-				return !full()
-			})
-			if poll.stopped {
-				return out
+				var pn int
+				if sb, ok := scatterScan(sh, pat, width, cand, &poll, scanMax, &pn); ok {
+					next.TakeRows(sb)
+					n += pn
+					scattered = true
+				}
 			}
-			if full() {
-				break
+		}
+		if !scattered {
+			for i := 0; i < rows.Len(); i++ {
+				MatchPattern(st, pat, rows.Row(i), cand, func(nr algebra.Row) bool {
+					if poll.stopped {
+						return false // cancelled mid-scan: stop accumulating
+					}
+					next.Append(nr)
+					n++
+					poll.tick()
+					return !full()
+				})
+				if poll.stopped {
+					return out
+				}
+				if full() {
+					break
+				}
 			}
 		}
 		if poll.done() {
@@ -132,7 +152,7 @@ func seqVars(pat Pattern, bound func(int) bool) []int {
 // greedyOrderWithCands is greedyOrder, but a pattern whose variable has a
 // candidate set is treated as more selective: candidate sets bound the
 // scan, so starting from them realizes the pruning of §6.
-func greedyOrderWithCands(st *store.Store, bgp BGP, cand Candidates) []int {
+func greedyOrderWithCands(st store.Reader, bgp BGP, cand Candidates) []int {
 	if cand == nil {
 		return greedyOrder(st, bgp)
 	}
@@ -177,7 +197,7 @@ func greedyOrderWithCands(st *store.Store, bgp BGP, cand Candidates) []int {
 }
 
 // EstimateCard implements Engine via the shared sampling estimator.
-func (WCOEngine) EstimateCard(ctx context.Context, st *store.Store, bgp BGP) float64 {
+func (WCOEngine) EstimateCard(ctx context.Context, st store.Reader, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 1
 	}
@@ -193,7 +213,7 @@ func (WCOEngine) EstimateCard(ctx context.Context, st *store.Store, bgp BGP) flo
 //
 // summed over the extension steps of the greedy order. The first pattern's
 // cost is its scan size.
-func (WCOEngine) EstimateCost(ctx context.Context, st *store.Store, bgp BGP) float64 {
+func (WCOEngine) EstimateCost(ctx context.Context, st store.Reader, bgp BGP) float64 {
 	if len(bgp) == 0 {
 		return 0
 	}

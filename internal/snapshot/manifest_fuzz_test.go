@@ -1,0 +1,71 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzManifest drives ParseManifest with arbitrary bytes. Like
+// FuzzSnapshotLoad, the contract is: an error or a structurally valid
+// manifest, never a panic. The seed corpus starts from a real manifest
+// plus the corruption shapes the table test pins (truncation, flips in
+// the partition table, zeroed stats blob) so mutation explores the
+// format's interior.
+func FuzzManifest(f *testing.F) {
+	st := testStore(f)
+	path := filepath.Join(f.TempDir(), "store.shards")
+	if _, err := WriteShards(path, st, 3); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte(nil))
+	f.Add(ManifestMagic[:])
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:manifestFixedSize+4])
+	for _, pos := range []int{8, 12, 16, 32, manifestFixedSize + 1, len(raw) - 10, len(raw) - 2} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0xFF
+		f.Add(mut)
+	}
+	zeroStats := append([]byte(nil), raw...)
+	for i := manifestFixedSize; i < len(zeroStats)/2; i++ {
+		zeroStats[i] = 0
+	}
+	f.Add(zeroStats)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		// A manifest that parses must satisfy the partition invariants.
+		if len(m.Shards) == 0 {
+			t.Fatal("parsed manifest with no shards")
+		}
+		sum := 0
+		for i, e := range m.Shards {
+			if e.Lo >= e.Hi {
+				t.Fatalf("shard %d: empty range [%d, %d)", i, e.Lo, e.Hi)
+			}
+			if i > 0 && e.Lo != m.Shards[i-1].Hi {
+				t.Fatalf("shard %d: non-contiguous at %d", i, e.Lo)
+			}
+			if e.Name != filepath.Base(e.Name) {
+				t.Fatalf("shard %d: name %q escapes the manifest directory", i, e.Name)
+			}
+			sum += e.Triples
+		}
+		if sum != m.NumTriples {
+			t.Fatalf("shard triples sum %d != total %d", sum, m.NumTriples)
+		}
+		if m.Stats == nil {
+			t.Fatal("parsed manifest with nil statistics")
+		}
+	})
+}

@@ -18,10 +18,33 @@ import (
 // after upgrading. See internal/snapshot for the format and its
 // integrity model.
 func (db *DB) WriteSnapshot(path string) error {
-	if db.st.Stats() == nil {
+	m := db.mem()
+	if m == nil {
+		return fmt.Errorf("sparqluo: WriteSnapshot on a sharded database (shards are already snapshot images)")
+	}
+	if m.Stats() == nil {
 		return fmt.Errorf("sparqluo: DB must be frozen before writing a snapshot (call Freeze)")
 	}
-	return snapshot.WriteFile(path, db.st)
+	return snapshot.WriteFile(path, m)
+}
+
+// WriteShards splits the frozen database into k subject-range shards
+// and writes one snapshot image per shard next to path, plus a small
+// CRC-checked manifest at path itself that records the ID range and
+// triple count of every shard alongside the global statistics. The
+// shard set reopens with OpenShards. Every file is written atomically
+// (temp file + fsync + rename); the manifest is written last, so a
+// partial write never yields an openable but incomplete set. It returns
+// the paths of all files written (images first, manifest last).
+func (db *DB) WriteShards(path string, k int) ([]string, error) {
+	m := db.mem()
+	if m == nil {
+		return nil, fmt.Errorf("sparqluo: WriteShards on an already sharded database")
+	}
+	if m.Stats() == nil {
+		return nil, fmt.Errorf("sparqluo: DB must be frozen before writing shards (call Freeze)")
+	}
+	return snapshot.WriteShards(path, m, k)
 }
 
 // OpenSnapshot opens a snapshot image previously produced by
@@ -36,7 +59,27 @@ func OpenSnapshot(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{st: st, mapping: m}, nil
+	return &DB{st: st, mappings: []*snapshot.Mapping{m}}, nil
+}
+
+// OpenShards opens a sharded snapshot set from its manifest at path,
+// memory-mapping every shard image in parallel. The returned database
+// is frozen and serves queries by scattering index scans across the
+// shards and gathering the per-shard results in deterministic global
+// order, so results are byte-identical to a single-store database over
+// the same data. Call Close to release all mappings.
+func OpenShards(path string) (*DB, error) {
+	sh, ms, _, err := snapshot.OpenShards(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{st: sh, mappings: ms}, nil
+}
+
+// IsShardManifest reports whether the file at path is a shard manifest
+// written by WriteShards, by its leading magic bytes.
+func IsShardManifest(path string) (bool, error) {
+	return snapshot.SniffManifest(path)
 }
 
 // IsSnapshot reports whether the file at path is a snapshot image, by
@@ -46,13 +89,25 @@ func IsSnapshot(path string) (bool, error) {
 	return snapshot.Sniff(path)
 }
 
-// OpenFile opens path as either a snapshot image (memory-mapped, see
-// OpenSnapshot) or an N-Triples document (parsed, indexed and frozen),
-// auto-detected by the snapshot magic. The returned database is frozen
-// and ready for concurrent queries; source is "snapshot" or "ntriples",
-// for startup logging. Both CLIs and the server accept data files
-// through this one path.
+// OpenFile opens path as a shard manifest (all images memory-mapped,
+// see OpenShards), a snapshot image (memory-mapped, see OpenSnapshot)
+// or an N-Triples document (parsed, indexed and frozen), auto-detected
+// by leading magic bytes. The returned database is frozen and ready for
+// concurrent queries; source is "shards", "snapshot" or "ntriples", for
+// startup logging. Both CLIs and the server accept data files through
+// this one path.
 func OpenFile(path string) (db *DB, source string, err error) {
+	isManifest, err := IsShardManifest(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if isManifest {
+		db, err = OpenShards(path)
+		if err != nil {
+			return nil, "", err
+		}
+		return db, "shards", nil
+	}
 	isSnap, err := IsSnapshot(path)
 	if err != nil {
 		return nil, "", err
@@ -77,11 +132,17 @@ func OpenFile(path string) (db *DB, source string, err error) {
 	return db, "ntriples", nil
 }
 
-// Close releases any file mapping backing the database. It is a no-op
+// Close releases any file mappings backing the database. It is a no-op
 // (and nil error) for databases built in memory with Open. After Close,
 // the database — and any Results obtained from it — must not be used.
 func (db *DB) Close() error {
-	m := db.mapping
-	db.mapping = nil
-	return m.Close()
+	ms := db.mappings
+	db.mappings = nil
+	var first error
+	for _, m := range ms {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -1,0 +1,260 @@
+package sparqluo_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"sparqluo"
+	"sparqluo/internal/bench"
+	"sparqluo/internal/dbpedia"
+	"sparqluo/internal/lubm"
+	"sparqluo/internal/rdf"
+)
+
+// TestShardedRoundTripEquivalence is the sharding subsystem's central
+// acceptance test: on the LUBM and DBpedia fixtures, a database opened
+// from a k-way shard set must answer every benchmark query with output
+// byte-identical (W3C SPARQL JSON) to the single parse+freeze database
+// it was written from — across both engines, all four strategies, a
+// sweep of shard counts and both serial and parallel evaluation.
+// Anything the scatter-gather path reorders, drops or duplicates —
+// shard-local branch decisions, a k-way merge tie broken differently,
+// a per-shard LIMIT cap that isn't prefix-sound — surfaces here as a
+// byte difference.
+func TestShardedRoundTripEquivalence(t *testing.T) {
+	lubmScale, dbpScale := 13, 1500
+	if testing.Short() {
+		lubmScale, dbpScale = 3, 300
+	}
+	fixtures := []struct {
+		name    string
+		triples []rdf.Triple
+	}{
+		{"LUBM", lubm.Generate(lubm.DefaultConfig(lubmScale))},
+		{"DBpedia", dbpedia.Generate(dbpedia.DefaultConfig(dbpScale))},
+	}
+	engines := []sparqluo.Engine{sparqluo.WCO, sparqluo.BinaryJoin}
+	engineNames := []string{"wco", "binary"}
+	strategies := []sparqluo.Strategy{sparqluo.Base, sparqluo.TT, sparqluo.CP, sparqluo.Full}
+
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			single := sparqluo.Open()
+			single.AddAll(fx.triples)
+			single.Freeze()
+			dir := t.TempDir()
+
+			for _, k := range []int{1, 2, 4} {
+				k := k
+				t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+					manifest := filepath.Join(dir, fmt.Sprintf("store%d.shards", k))
+					if _, err := single.WriteShards(manifest, k); err != nil {
+						t.Fatalf("WriteShards: %v", err)
+					}
+					sharded, err := sparqluo.OpenShards(manifest)
+					if err != nil {
+						t.Fatalf("OpenShards: %v", err)
+					}
+					defer sharded.Close()
+					if sharded.NumShards() != k {
+						t.Fatalf("NumShards = %d, want %d", sharded.NumShards(), k)
+					}
+					if sharded.NumTriples() != single.NumTriples() {
+						t.Fatalf("NumTriples = %d, want %d", sharded.NumTriples(), single.NumTriples())
+					}
+
+					for _, q := range bench.AllQueries() {
+						if q.Dataset != fx.name {
+							continue
+						}
+						for ei, engine := range engines {
+							for _, strat := range strategies {
+								for _, par := range []int{1, 4} {
+									opts := []sparqluo.Option{
+										sparqluo.WithEngine(engine),
+										sparqluo.WithStrategy(strat),
+										sparqluo.WithParallelism(par),
+									}
+									want := queryJSON(t, single, q.Text, opts)
+									got := queryJSON(t, sharded, q.Text, opts)
+									if !bytes.Equal(want, got) {
+										t.Errorf("%s %s/%v par=%d: sharded results differ from single store\nsingle:  %.200s\nsharded: %.200s",
+											q.ID, engineNames[ei], strat, par, want, got)
+									}
+								}
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardedLimitPushdownEquivalence: LIMIT/OFFSET windows — the
+// early-termination path, where per-shard caps must stay prefix-sound —
+// byte-identical between sharded and single stores.
+func TestShardedLimitPushdownEquivalence(t *testing.T) {
+	scale := 5
+	if testing.Short() {
+		scale = 2
+	}
+	single := sparqluo.Open()
+	single.AddAll(lubm.Generate(lubm.DefaultConfig(scale)))
+	single.Freeze()
+	manifest := filepath.Join(t.TempDir(), "store.shards")
+	if _, err := single.WriteShards(manifest, 4); err != nil {
+		t.Fatalf("WriteShards: %v", err)
+	}
+	sharded, err := sparqluo.OpenShards(manifest)
+	if err != nil {
+		t.Fatalf("OpenShards: %v", err)
+	}
+	defer sharded.Close()
+
+	queries := []string{
+		`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`,
+		`SELECT ?x ?y WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?y }`,
+	}
+	for _, text := range queries {
+		for _, eng := range []sparqluo.Engine{sparqluo.WCO, sparqluo.BinaryJoin} {
+			for _, limit := range []int{0, 1, 7, 100} {
+				for _, offset := range []int{0, 3} {
+					opts := []sparqluo.Option{
+						sparqluo.WithEngine(eng),
+						sparqluo.WithLimit(limit),
+						sparqluo.WithOffset(offset),
+					}
+					want := queryJSON(t, single, text, opts)
+					got := queryJSON(t, sharded, text, opts)
+					if !bytes.Equal(want, got) {
+						t.Errorf("limit=%d offset=%d: sharded window differs\nsingle:  %.150s\nsharded: %.150s",
+							limit, offset, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRowsPulledAggregation pins two satellite behaviours: the
+// work metric sums across shards (a last-shard-wins bug would report a
+// fraction of the single store's count on a full scan), and LIMIT
+// push-down savings stay visible on the sharded path (per-shard caps
+// keep the capped pull count far below the full scan's).
+func TestShardedRowsPulledAggregation(t *testing.T) {
+	single := sparqluo.Open()
+	single.AddAll(lubm.Generate(lubm.DefaultConfig(3)))
+	single.Freeze()
+	manifest := filepath.Join(t.TempDir(), "store.shards")
+	if _, err := single.WriteShards(manifest, 4); err != nil {
+		t.Fatalf("WriteShards: %v", err)
+	}
+	sharded, err := sparqluo.OpenShards(manifest)
+	if err != nil {
+		t.Fatalf("OpenShards: %v", err)
+	}
+	defer sharded.Close()
+
+	const scan = `SELECT ?s ?p ?o WHERE { ?s ?p ?o }`
+	full, err := sharded.Query(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFull, err := single.Query(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.RowsPulled() != refFull.RowsPulled() {
+		t.Errorf("full scan pulled %d rows sharded, %d single: per-shard counts not summed",
+			full.RowsPulled(), refFull.RowsPulled())
+	}
+	if full.RowsPulled() < sharded.NumTriples() {
+		t.Errorf("full scan pulled %d rows, store has %d triples", full.RowsPulled(), sharded.NumTriples())
+	}
+	capped, err := sharded.Query(scan, sparqluo.WithLimit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.RowsPulled()*10 > full.RowsPulled() {
+		t.Errorf("LIMIT 5 pulled %d of %d rows: push-down savings lost on the sharded path",
+			capped.RowsPulled(), full.RowsPulled())
+	}
+	t.Logf("rows pulled: full=%d capped=%d", full.RowsPulled(), capped.RowsPulled())
+}
+
+// TestOpenFileDetectsShardManifest: the one-flag data path tells shard
+// manifests, snapshot images and N-Triples apart by magic.
+func TestOpenFileDetectsShardManifest(t *testing.T) {
+	db := sparqluo.Open()
+	db.AddAll(lubm.Generate(lubm.DefaultConfig(1)))
+	db.Freeze()
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "store.shards")
+	if _, err := db.WriteShards(manifest, 2); err != nil {
+		t.Fatalf("WriteShards: %v", err)
+	}
+	if ok, err := sparqluo.IsShardManifest(manifest); err != nil || !ok {
+		t.Fatalf("IsShardManifest = (%v, %v), want (true, nil)", ok, err)
+	}
+	opened, source, err := sparqluo.OpenFile(manifest)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer opened.Close()
+	if source != "shards" {
+		t.Errorf("source = %q, want \"shards\"", source)
+	}
+	if opened.NumShards() != 2 {
+		t.Errorf("NumShards = %d, want 2", opened.NumShards())
+	}
+	if opened.NumTriples() != db.NumTriples() {
+		t.Errorf("NumTriples = %d, want %d", opened.NumTriples(), db.NumTriples())
+	}
+}
+
+// TestShardedDBIsReadOnly: mutation entry points reject a sharded
+// database with clear errors rather than corrupting one shard.
+func TestShardedDBIsReadOnly(t *testing.T) {
+	db := sparqluo.Open()
+	db.AddAll(lubm.Generate(lubm.DefaultConfig(1)))
+	db.Freeze()
+	manifest := filepath.Join(t.TempDir(), "store.shards")
+	if _, err := db.WriteShards(manifest, 2); err != nil {
+		t.Fatalf("WriteShards: %v", err)
+	}
+	sharded, err := sparqluo.OpenShards(manifest)
+	if err != nil {
+		t.Fatalf("OpenShards: %v", err)
+	}
+	defer sharded.Close()
+
+	if err := sharded.Load(bytes.NewReader(nil)); err == nil {
+		t.Error("Load on a sharded DB should fail")
+	}
+	if sharded.Store() != nil {
+		t.Error("Store() on a sharded DB should return nil")
+	}
+	if err := sharded.WriteSnapshot(filepath.Join(t.TempDir(), "x.img")); err == nil {
+		t.Error("WriteSnapshot on a sharded DB should fail")
+	}
+	if _, err := sharded.WriteShards(filepath.Join(t.TempDir(), "y.shards"), 2); err == nil {
+		t.Error("WriteShards on a sharded DB should fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add on a sharded DB should panic")
+			}
+		}()
+		sharded.Add(rdf.Triple{S: rdf.NewIRI("s"), P: rdf.NewIRI("p"), O: rdf.NewIRI("o")})
+	}()
+	// Freeze must stay a harmless no-op, and queries must keep working.
+	sharded.Freeze()
+	if _, err := sharded.Query(`SELECT ?s WHERE { ?s ?p ?o } LIMIT 1`); err != nil {
+		t.Errorf("query after no-op Freeze: %v", err)
+	}
+}

@@ -113,6 +113,7 @@ package sparqluo
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"strings"
 
@@ -168,40 +169,85 @@ func (e Engine) impl() exec.Engine {
 
 // DB is an in-memory RDF database. Load data with Load/Add, call Freeze
 // once, then issue queries concurrently. Alternatively, open a
-// previously written snapshot image with OpenSnapshot for a cold start
-// that skips parsing and index building entirely.
+// previously written snapshot image with OpenSnapshot — or a sharded
+// snapshot set with OpenShards — for a cold start that skips parsing
+// and index building entirely.
 type DB struct {
-	st *store.Store
+	st store.Reader
 
-	// mapping backs snapshot-opened databases (see OpenSnapshot/Close);
-	// nil for in-memory ones. *snapshot.Mapping is nil-safe to Close.
-	mapping *snapshot.Mapping
+	// mappings back snapshot-opened databases (see OpenSnapshot,
+	// OpenShards, Close); empty for in-memory ones.
+	mappings []*snapshot.Mapping
 }
 
 // Open returns an empty database.
 func Open() *DB { return &DB{st: store.New()} }
 
+// mem returns the mutable single store backing the database, or nil for
+// a sharded (read-only) database.
+func (db *DB) mem() *store.Store {
+	st, _ := db.st.(*store.Store)
+	return st
+}
+
 // Load reads an N-Triples document (with optional Turtle-style @prefix
-// directives) and adds every triple.
-func (db *DB) Load(r io.Reader) error { return db.st.LoadNTriples(r) }
+// directives) and adds every triple. Sharded databases are read-only.
+func (db *DB) Load(r io.Reader) error {
+	m := db.mem()
+	if m == nil {
+		return fmt.Errorf("sparqluo: Load on a sharded (read-only) database")
+	}
+	return m.LoadNTriples(r)
+}
 
 // Add inserts one triple. Duplicates are ignored (RDF set semantics).
-func (db *DB) Add(t Triple) { db.st.Add(t) }
+// Add panics on a sharded database, mirroring Add after Freeze.
+func (db *DB) Add(t Triple) {
+	m := db.mem()
+	if m == nil {
+		panic("sparqluo: Add on a sharded (read-only) database")
+	}
+	m.Add(t)
+}
 
 // AddAll inserts a batch of triples.
-func (db *DB) AddAll(ts []Triple) { db.st.AddAll(ts) }
+func (db *DB) AddAll(ts []Triple) {
+	for _, t := range ts {
+		db.Add(t)
+	}
+}
 
 // Freeze computes statistics and makes the database read-only. Queries
 // run before Freeze cannot use cost-based optimization; call it after
-// loading.
-func (db *DB) Freeze() { db.st.Freeze() }
+// loading. Snapshot- and shard-opened databases are frozen already.
+func (db *DB) Freeze() {
+	if m := db.mem(); m != nil {
+		m.Freeze()
+	}
+}
 
 // NumTriples returns the number of distinct triples stored.
 func (db *DB) NumTriples() int { return db.st.NumTriples() }
 
-// Store exposes the underlying store for advanced integrations (the
-// experiment harness uses it); most callers never need it.
-func (db *DB) Store() *store.Store { return db.st }
+// NumShards returns the number of shards serving this database: 1 for a
+// single in-memory or snapshot-backed store, k for a database opened
+// from a shard manifest.
+func (db *DB) NumShards() int {
+	if sh, ok := db.st.(store.ShardedReader); ok {
+		return sh.NumShards()
+	}
+	return 1
+}
+
+// MemStats reports the memory footprint of the database's columnar
+// indexes — aggregated across shards for a sharded database.
+func (db *DB) MemStats() store.MemStats { return db.st.MemStats() }
+
+// Store exposes the underlying single store for advanced integrations
+// (the experiment harness uses it); most callers never need it. It
+// returns nil for a sharded database, whose shards do not form one
+// *store.Store.
+func (db *DB) Store() *store.Store { return db.mem() }
 
 // Option configures a Query, Prepare or Exec call.
 type Option func(*queryConfig)

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-shard bench-json snapshot-smoke shard-smoke fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-shard bench-update bench-json snapshot-smoke shard-smoke live-smoke fuzz clean
 
 all: vet fmt-check build test
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -74,6 +74,13 @@ bench-topk:
 bench-shard:
 	$(GO) test ./internal/bench -run '^$$' -bench 'ShardScaling' -benchtime $(BENCHTIME)
 
+# Live-update benchmarks: acknowledged write path (single and batched),
+# compaction fold time, and query latency while a writer streams and the
+# background compactor runs. CI runs this with -benchtime=1x as a smoke
+# test; use -benchtime=2s locally for real numbers.
+bench-update:
+	$(GO) test ./internal/bench -run '^$$' -bench 'Live' -benchtime $(BENCHTIME)
+
 # Machine-readable bench table: join micro-benchmarks + the Fig10 query
 # workload as JSON, committed per PR (BENCH_<n>.json) so the perf
 # trajectory is diffable across history. The PR number defaults to the
@@ -121,6 +128,37 @@ shard-smoke:
 		echo "shard-smoke: query returned no solutions"; rm -rf $$tmp; exit 1; fi; \
 	echo "shard-smoke: $$(wc -l < $$tmp/single.out | tr -d ' ') identical solutions from sharded and single stores"; \
 	rm -rf $$tmp
+
+# End-to-end live smoke: serve a generated base with -live, apply an
+# insert and a delete over HTTP with a forced compaction in between, and
+# require query results to track every mutation. The compacted snapshot
+# image must exist and be non-empty afterwards — the full ingest →
+# compact → persist → serve loop, exercised through the real server
+# binary and curl.
+live-smoke:
+	@set -e; tmp=$$(mktemp -d); addr=127.0.0.1:18475; \
+	$(GO) run ./cmd/datagen -dataset lubm -scale 1 -out $$tmp/g.nt; \
+	$(GO) build -o $$tmp/server ./cmd/sparql-server; \
+	$$tmp/server -data $$tmp/g.nt -addr $$addr -live -compact-snapshot $$tmp/live.img >$$tmp/server.log 2>&1 & pid=$$!; \
+	trap "kill $$pid 2>/dev/null; rm -rf $$tmp" EXIT; \
+	ok=; for i in $$(seq 1 50); do \
+		if curl -sf http://$$addr/healthz >/dev/null 2>&1; then ok=1; break; fi; sleep 0.2; done; \
+	if [ -z "$$ok" ]; then echo "live-smoke: server did not become ready"; cat $$tmp/server.log; exit 1; fi; \
+	query() { curl -sf -G --data-urlencode 'query=SELECT * WHERE { <http://smoke/s> <http://smoke/p> ?o }' http://$$addr/sparql; }; \
+	if query | grep -q 'http://smoke/o'; then echo "live-smoke: triple present before insert"; exit 1; fi; \
+	printf '<http://smoke/s> <http://smoke/p> <http://smoke/o> .\n' | \
+		curl -sf -X POST --data-binary @- "http://$$addr/update?op=insert" | grep -q '"applied":1' || \
+		{ echo "live-smoke: insert failed"; exit 1; }; \
+	query | grep -q 'http://smoke/o' || { echo "live-smoke: inserted triple not visible"; exit 1; }; \
+	curl -sf -X POST http://$$addr/compact | grep -q '"merged"' || { echo "live-smoke: compact failed"; exit 1; }; \
+	test -s $$tmp/live.img || { echo "live-smoke: no snapshot image after compaction"; exit 1; }; \
+	query | grep -q 'http://smoke/o' || { echo "live-smoke: triple lost by compaction"; exit 1; }; \
+	printf '<http://smoke/s> <http://smoke/p> <http://smoke/o> .\n' | \
+		curl -sf -X POST --data-binary @- "http://$$addr/update?op=delete" | grep -q '"applied":1' || \
+		{ echo "live-smoke: delete failed"; exit 1; }; \
+	if query | grep -q 'http://smoke/o'; then echo "live-smoke: deleted triple still visible"; exit 1; fi; \
+	curl -sf http://$$addr/healthz | grep -q 'live: true' || { echo "live-smoke: healthz missing live line"; exit 1; }; \
+	echo "live-smoke: insert, compact, persist and delete all visible through the server"
 
 # Short fuzz smoke for every fuzz target; CI runs this with FUZZTIME=10s.
 fuzz:

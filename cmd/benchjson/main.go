@@ -1,7 +1,9 @@
 // Command benchjson emits the PR perf-tracking table as machine-readable
 // JSON: the join micro-benchmarks (merge vs hash vs sort+merge physical
-// operators) and the Fig10 query workload (both engines, all strategies,
-// both datasets). The output file is committed per PR (BENCH_5.json,
+// operators), the Fig10 query workload (both engines, all strategies,
+// both datasets), shard scaling, and the live-ingest workload (write
+// rate with a concurrent reader, read latency under ingest, compaction
+// cost). The output file is committed per PR (BENCH_5.json,
 // BENCH_6.json, ...) so the perf trajectory of the hot paths is
 // diffable across the repo's history:
 //
@@ -65,11 +67,31 @@ type ShardRow struct {
 	SpeedupX float64 `json:"speedup_vs_k1"`
 }
 
+// UpdateRow is one run of the live-ingest workload: sustained write
+// rate with a concurrent reader, the reader's latency distribution
+// under ingest, and the cost of the closing compaction (fold time plus
+// the largest reader-observed stall across the base swap).
+type UpdateRow struct {
+	Dataset     string  `json:"dataset"`
+	BaseTriples int     `json:"base_triples"`
+	Inserted    int     `json:"inserted"`
+	Deleted     int     `json:"deleted"`
+	Batch       int     `json:"batch"`
+	IngestRate  float64 `json:"ingest_triples_per_s"`
+	Reads       int     `json:"reads_under_ingest"`
+	ReadP50Ms   float64 `json:"read_p50_ms"`
+	ReadP99Ms   float64 `json:"read_p99_ms"`
+	ReadMaxMs   float64 `json:"read_max_ms"`
+	CompactMs   float64 `json:"compact_ms"`
+	SwapPauseMs float64 `json:"swap_pause_ms"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	Micro    []Micro       `json:"microbench"`
 	Workload []WorkloadRow `json:"workload"`
 	Shard    []ShardRow    `json:"shard_scaling"`
+	Update   []UpdateRow   `json:"live_update"`
 	NumCPU   int           `json:"num_cpu"`
 }
 
@@ -92,6 +114,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Shard = s
+	u, err := liveUpdate(*reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Update = u
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -303,6 +331,36 @@ func shardScaling(reps int) ([]ShardRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// liveUpdate runs the live-ingest workload reps times and keeps the run
+// with the highest sustained ingest rate (the latency percentiles come
+// from the same run, so rate and latency always describe one execution).
+func liveUpdate(reps int) ([]UpdateRow, error) {
+	var best bench.UpdateResult
+	for rep := 0; rep < reps; rep++ {
+		r, err := bench.RunUpdateWorkload(8, 5, 256)
+		if err != nil {
+			return nil, err
+		}
+		if rep == 0 || r.IngestRate > best.IngestRate {
+			best = r
+		}
+	}
+	return []UpdateRow{{
+		Dataset:     best.Dataset,
+		BaseTriples: best.BaseTriples,
+		Inserted:    best.Inserted,
+		Deleted:     best.Deleted,
+		Batch:       best.Batch,
+		IngestRate:  best.IngestRate,
+		Reads:       best.Reads,
+		ReadP50Ms:   ms(best.ReadP50),
+		ReadP99Ms:   ms(best.ReadP99),
+		ReadMaxMs:   ms(best.ReadMax),
+		CompactMs:   ms(best.CompactTime),
+		SwapPauseMs: ms(best.SwapPause),
+	}}, nil
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -25,6 +25,16 @@
 // -plan-cache sizes the per-server LRU of prepared query plans: repeated
 // queries skip parsing and plan construction, and every response reports
 // X-Plan-Cache: hit|miss.
+//
+// -live enables live updates: POST /update accepts N-Triples
+// insert/delete batches while queries keep serving (each query pinned
+// to one epoch), and a background compactor folds the memtable into
+// the frozen base every -compact-interval or once -compact-threshold
+// pending operations accumulate. -compact-snapshot persists each
+// compacted base atomically to the given path (a crash mid-compaction
+// leaves the previous image intact); POST /compact forces a compaction.
+// A sharded data file cannot be served live (write routing across
+// shards is not implemented).
 package main
 
 import (
@@ -45,6 +55,11 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 64, "max concurrently evaluating queries (0 = unlimited)")
 		parallelism = flag.Int("parallelism", 0, "per-query evaluation worker pool size (0 = GOMAXPROCS)")
 		planCache   = flag.Int("plan-cache", 128, "LRU size of the prepared-plan cache (0 = disabled)")
+
+		live             = flag.Bool("live", false, "enable live updates (POST /update) over the loaded data")
+		compactInterval  = flag.Duration("compact-interval", 30*time.Second, "max time the memtable stays dirty before a background compaction")
+		compactThreshold = flag.Int("compact-threshold", 10000, "pending ops that trigger an immediate background compaction")
+		compactSnapshot  = flag.String("compact-snapshot", "", "persist each compacted base to this snapshot path (atomic)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -57,6 +72,22 @@ func main() {
 	db, source, err := openData(*dataPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *live {
+		if err := db.EnableLiveUpdates(sparqluo.LiveOptions{SnapshotPath: *compactSnapshot}); err != nil {
+			log.Fatal(err)
+		}
+		stop, err := db.StartCompaction(sparqluo.CompactionOptions{
+			Interval:  *compactInterval,
+			Threshold: *compactThreshold,
+			OnError:   func(err error) { log.Printf("compaction: %v", err) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		log.Printf("live updates enabled (compact-interval=%v compact-threshold=%d snapshot=%q)",
+			*compactInterval, *compactThreshold, *compactSnapshot)
 	}
 
 	handler := sparqluo.NewHandler(db,

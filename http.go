@@ -52,7 +52,12 @@ func WithHandlerParallelism(n int) HandlerOption {
 // construction for the request; every /sparql response then carries an
 // X-Plan-Cache: hit|miss header so cache effectiveness is observable
 // from the client side. Cached plans are immutable and shared safely
-// across concurrent requests.
+// across concurrent requests. On a live database the write epoch is
+// folded into the cache key: plans resolve constant terms against the
+// dictionary when they are built, so a plan cached before an update
+// could answer from a stale resolution — epoch keying makes every
+// write batch start a fresh cache generation while repeated queries
+// between writes still hit.
 func WithPlanCache(n int) HandlerOption {
 	return func(c *handlerConfig) { c.planCache = n }
 }
@@ -61,6 +66,8 @@ func WithPlanCache(n int) HandlerOption {
 // SPARQL endpoint:
 //
 //	GET  /sparql?query=...          run a query (also accepts POST form)
+//	POST /update?op=insert|delete   apply an N-Triples body (live DBs only)
+//	POST /compact                   synchronously compact the memtable
 //	GET  /stats                     dataset statistics and memory footprint
 //	GET  /healthz                   readiness probe (200 once frozen)
 //
@@ -114,6 +121,14 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 		var prep *Prepared
 		if cache != nil {
 			key := normalizeQueryText(query) + "\x00" + strategy + "\x00" + engine
+			// On a live database the write epoch is part of the key:
+			// plans resolve constant terms against the dictionary at
+			// build time, so a plan built before an update introduced a
+			// term would keep answering from the old resolution. Stale
+			// epochs age out of the LRU on their own.
+			if ls := db.liveStore(); ls != nil {
+				key += "\x00" + strconv.FormatUint(ls.Epoch(), 10)
+			}
 			cached, hit := cache.get(key)
 			if hit {
 				prep = cached
@@ -175,6 +190,78 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			return
 		}
 	})
+	// POST /update applies one N-Triples document as one atomic batch of
+	// inserts (default) or deletes (?op=delete) against a live database.
+	// It shares the /sparql admission valve: an update counts against
+	// the same in-flight budget as a query, so overload sheds both
+	// uniformly (503 + Retry-After). The op parameter is read from the
+	// URL only — the body is the N-Triples payload, never a form.
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", "POST")
+			http.Error(w, "POST an N-Triples document", http.StatusMethodNotAllowed)
+			return
+		}
+		if !db.Live() {
+			http.Error(w, "live updates not enabled (start the server with -live)", http.StatusConflict)
+			return
+		}
+		op := r.URL.Query().Get("op")
+		if op == "" {
+			op = "insert"
+		}
+		if op != "insert" && op != "delete" {
+			http.Error(w, fmt.Sprintf("unknown op %q (want insert or delete)", op), http.StatusBadRequest)
+			return
+		}
+		if inflight != nil {
+			select {
+			case inflight <- struct{}{}:
+				defer func() { <-inflight }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "server overloaded: too many in-flight queries", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		var n int
+		var err error
+		if op == "insert" {
+			n, err = db.InsertNTriples(r.Body)
+		} else {
+			n, err = db.DeleteNTriples(r.Body)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ls, _ := db.LiveStats()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"op\":%q,\"applied\":%d,\"epoch\":%d}\n", op, n, ls.Epoch)
+	})
+	// POST /compact synchronously folds the memtable into the frozen
+	// base. It does not take an in-flight slot: compaction never blocks
+	// queries (they finish on the view they pinned), and gating it
+	// behind the valve would let query load starve durability.
+	mux.HandleFunc("/compact", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", "POST")
+			http.Error(w, "POST to compact", http.StatusMethodNotAllowed)
+			return
+		}
+		if !db.Live() {
+			http.Error(w, "live updates not enabled (start the server with -live)", http.StatusConflict)
+			return
+		}
+		cs, err := db.Compact()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"merged\":%d,\"adds\":%d,\"dels\":%d,\"took_ms\":%.3f,\"persisted\":%v}\n",
+			cs.Merged, cs.Adds, cs.Dels, float64(cs.Took.Microseconds())/1000, cs.Persisted)
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "triples: %d\n", db.NumTriples())
@@ -187,6 +274,17 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			// For a sharded database it aggregates across shards.
 			m := db.st.MemStats()
 			fmt.Fprintf(w, "dict-bytes: %d\nmemory: %s\n", m.DictBytes, m)
+		}
+		if ls, ok := db.LiveStats(); ok {
+			fmt.Fprintf(w, "live: true\nepoch: %d\n", ls.Epoch)
+			fmt.Fprintf(w, "memtable-triples: %d\ntombstones: %d\nmemtable-ops: %d\n",
+				ls.MemtableAdds, ls.Tombstones, ls.MemtableOps)
+			fmt.Fprintf(w, "compactions: %d\ncompaction-in-progress: %v\n",
+				ls.Compactions, ls.Compacting)
+			if !ls.LastCompaction.IsZero() {
+				fmt.Fprintf(w, "last-compaction: %s\nlast-compaction-took: %v\nlast-compaction-merged: %d\n",
+					ls.LastCompaction.UTC().Format(time.RFC3339), ls.LastCompactionTook, ls.LastCompactionMerged)
+			}
 		}
 	})
 	// Load-balancer readiness probe: 200 exactly when the DB is frozen
@@ -202,6 +300,10 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			return
 		}
 		fmt.Fprintf(w, "ok\nshards: %d\n", db.NumShards())
+		if ls, ok := db.LiveStats(); ok {
+			fmt.Fprintf(w, "live: true\ncompaction-in-progress: %v\nmemtable-triples: %d\ntombstones: %d\n",
+				ls.Compacting, ls.MemtableAdds, ls.Tombstones)
+		}
 	})
 	return mux
 }

@@ -3,6 +3,7 @@ package sparqluo_test
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -418,5 +419,177 @@ func TestHTTPClientCancelNoResponse(t *testing.T) {
 	}
 	if ra := rec.Header().Get("Retry-After"); ra != "" {
 		t.Errorf("cancelled request carries Retry-After %q", ra)
+	}
+}
+
+// TestHTTPLiveUpdateEndpoint walks the live-update surface end to end
+// over HTTP: inserts and deletes through POST /update, a forced
+// compaction through POST /compact, and the overlay lines /stats and
+// /healthz gain on a live database.
+func TestHTTPLiveUpdateEndpoint(t *testing.T) {
+	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	srv := httptest.NewServer(sparqluo.NewHandler(db))
+	defer srv.Close()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/n-triples", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.String()
+	}
+	countBindings := func() int {
+		t.Helper()
+		q := url.QueryEscape(`SELECT * WHERE { ?s ?p ?o }`)
+		resp, err := http.Get(srv.URL + "/sparql?query=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Results struct {
+				Bindings []map[string]struct{ Value string } `json:"bindings"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return len(doc.Results.Bindings)
+	}
+
+	nt := "<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> .\n" +
+		"<http://ex.org/s2> <http://ex.org/p> <http://ex.org/o> .\n"
+	if code, body := post("/update", nt); code != http.StatusOK || !strings.Contains(body, `"applied":2`) {
+		t.Fatalf("insert: status %d body %s", code, body)
+	}
+	if n := countBindings(); n != 2 {
+		t.Fatalf("after insert: %d bindings, want 2", n)
+	}
+	if code, body := post("/update?op=delete", "<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> .\n"); code != http.StatusOK || !strings.Contains(body, `"applied":1`) {
+		t.Fatalf("delete: status %d body %s", code, body)
+	}
+	if n := countBindings(); n != 1 {
+		t.Fatalf("after delete: %d bindings, want 1", n)
+	}
+
+	// Error surface: unknown op, malformed payload, wrong method.
+	if code, _ := post("/update?op=upsert", nt); code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", code)
+	}
+	if code, _ := post("/update", "not n-triples"); code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", code)
+	}
+	resp, err := http.Get(srv.URL + "/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != "POST" {
+		t.Errorf("GET /update: status %d Allow %q, want 405 POST", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	// Forced compaction folds the memtable (1 surviving triple) into the
+	// base; afterwards /stats reports a drained memtable.
+	code, body := post("/compact", "")
+	if code != http.StatusOK || !strings.Contains(body, `"merged":1`) {
+		t.Fatalf("compact: status %d body %s", code, body)
+	}
+	if n := countBindings(); n != 1 {
+		t.Fatalf("after compact: %d bindings, want 1", n)
+	}
+	statsResp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	io.Copy(&sb, statsResp.Body)
+	statsResp.Body.Close()
+	stats := sb.String()
+	for _, want := range []string{"live: true", "memtable-ops: 0", "tombstones: 0", "compactions: 1", "compaction-in-progress: false", "last-compaction: "} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("/stats missing %q:\n%s", want, stats)
+		}
+	}
+	hResp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb strings.Builder
+	io.Copy(&hb, hResp.Body)
+	hResp.Body.Close()
+	if h := hb.String(); hResp.StatusCode != http.StatusOK || !strings.Contains(h, "live: true") || !strings.Contains(h, "memtable-triples: 0") {
+		t.Errorf("/healthz status %d body:\n%s", hResp.StatusCode, hb.String())
+	}
+}
+
+// TestHTTPUpdateRequiresLive pins the 409 contract: update endpoints on
+// a read-only database refuse cleanly instead of mutating or panicking.
+func TestHTTPUpdateRequiresLive(t *testing.T) {
+	db := openTestDB(t)
+	srv := httptest.NewServer(sparqluo.NewHandler(db))
+	defer srv.Close()
+	for _, path := range []string{"/update", "/compact"} {
+		resp, err := http.Post(srv.URL+path, "application/n-triples", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("POST %s on read-only db: status %d, want 409", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPPlanCacheLiveInvalidation pins the epoch-keyed plan cache:
+// plans resolve constant terms at build time, so a plan cached before
+// an update introduced <http://ex.org/new> would keep answering empty.
+// The write must start a fresh cache generation.
+func TestHTTPPlanCacheLiveInvalidation(t *testing.T) {
+	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	srv := httptest.NewServer(sparqluo.NewHandler(db, sparqluo.WithPlanCache(8)))
+	defer srv.Close()
+
+	q := url.QueryEscape(`SELECT ?o WHERE { <http://ex.org/new> <http://ex.org/p> ?o }`)
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/sparql?query=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Results struct {
+				Bindings []map[string]struct{ Value string } `json:"bindings"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return len(doc.Results.Bindings), resp.Header.Get("X-Plan-Cache")
+	}
+
+	if n, cache := get(); n != 0 || cache != "miss" {
+		t.Fatalf("before insert: %d bindings (cache %s), want 0 (miss)", n, cache)
+	}
+	if n, cache := get(); n != 0 || cache != "hit" {
+		t.Fatalf("repeat before insert: %d bindings (cache %s), want 0 (hit)", n, cache)
+	}
+	resp, err := http.Post(srv.URL+"/update", "application/n-triples",
+		strings.NewReader("<http://ex.org/new> <http://ex.org/p> <http://ex.org/o> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if n, cache := get(); n != 1 || cache != "miss" {
+		t.Fatalf("after insert: %d bindings (cache %s), want 1 (miss) — cached plan served a stale term resolution", n, cache)
+	}
+	if n, cache := get(); n != 1 || cache != "hit" {
+		t.Fatalf("repeat after insert: %d bindings (cache %s), want 1 (hit)", n, cache)
 	}
 }

@@ -51,7 +51,11 @@ func (p *Plan) Clone() *Plan { return &Plan{Tree: p.Tree.Clone(), st: p.st} }
 // Estimates are engine-specific: warm a dedicated plan copy per engine
 // (see Clone), and do not warm a plan that is concurrently executing.
 func (p *Plan) WarmEstimates(engine exec.Engine) {
-	cm := &costModel{st: p.st, engine: engine}
+	st := p.st
+	if v, ok := st.(store.Viewer); ok {
+		st = v.View() // one epoch for the whole warming pass
+	}
+	cm := &costModel{st: st, engine: engine}
 	cm.fillEstimates(p.Tree.Root)
 }
 

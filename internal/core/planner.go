@@ -117,6 +117,14 @@ func RunTree(t *Tree, st store.Reader, engine exec.Engine, strat Strategy) *Resu
 // (transforming strategies clone it). On cancellation the ctx error is
 // returned and the Result is nil.
 func RunTreeContext(ctx context.Context, t *Tree, st store.Reader, engine exec.Engine, strat Strategy, opts ExecOptions) (*Result, error) {
+	// Pin mutable stores (the live-update overlay) to one immutable
+	// view for the whole execution: transformation, pruning thresholds
+	// and evaluation all see exactly one epoch of the data, so a query
+	// running concurrently with ingest or a compaction swap never
+	// observes a partial batch.
+	if v, ok := st.(store.Viewer); ok {
+		st = v.View()
+	}
 	t = applyWindow(t, opts)
 	res := &Result{Vars: t.Vars}
 	work := t

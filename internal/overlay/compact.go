@@ -1,0 +1,190 @@
+package overlay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sparqluo/internal/store"
+)
+
+// CompactionStats describes one compaction.
+type CompactionStats struct {
+	Merged    int           // triples in the base it produced
+	Adds      int           // net memtable inserts folded in
+	Dels      int           // tombstones annihilated against the base
+	Took      time.Duration // end-to-end, including the optional persist
+	Persisted bool          // a snapshot image was written
+}
+
+// Compact freezes the memtable into the base: it claims the pending
+// ops, resolves them (tombstones annihilate their targets), folds the
+// survivors into a fresh frozen base via the store's sort+compact
+// path, optionally persists the new base with the atomic snapshot
+// writer, and swaps it in. Writes accepted while the compaction runs
+// land in a new memtable generation and are never stalled; readers are
+// paused only for the pointer swap (RCU-style — in-flight queries
+// finish on the view they pinned).
+//
+// If the persist fails, the compaction is rolled back: the claimed ops
+// return to the memtable, the old base keeps serving, and the old
+// on-disk image is untouched (the writer renames last). Compactions
+// are serialized; a concurrent Compact blocks.
+func (ls *LiveStore) Compact() (CompactionStats, error) {
+	ls.compactMu.Lock()
+	defer ls.compactMu.Unlock()
+	start := time.Now()
+
+	ls.mu.Lock()
+	if len(ls.active) == 0 && len(ls.imm) == 0 {
+		ls.mu.Unlock()
+		return CompactionStats{}, nil
+	}
+	// Claim the pending ops. imm is always empty here (compactions are
+	// serialized and both exits below clear it), so this is a move.
+	ls.imm = append(ls.imm, ls.active...)
+	ls.active = nil
+	base := ls.base
+	ops := ls.imm
+	ls.mu.Unlock()
+
+	ls.compacting.Store(true)
+	defer ls.compacting.Store(false)
+
+	adds, dels := resolve(base, ops)
+	stats := CompactionStats{Adds: len(adds), Dels: len(dels)}
+
+	nb := base
+	if len(adds) > 0 || len(dels) > 0 {
+		merged := make([]store.EncTriple, 0, base.NumTriples()-len(dels)+len(adds))
+		if len(dels) == 0 {
+			merged = append(merged, base.Triples()...)
+		} else {
+			dead := make(map[store.EncTriple]struct{}, len(dels))
+			for _, t := range dels {
+				dead[t] = struct{}{}
+			}
+			for _, t := range base.Triples() {
+				if _, ok := dead[t]; !ok {
+					merged = append(merged, t)
+				}
+			}
+		}
+		merged = append(merged, adds...)
+		nb = store.FromTriples(ls.dict, merged, true)
+	}
+	stats.Merged = nb.NumTriples()
+
+	if ls.opts.SnapshotPath != "" && nb != base {
+		if err := ls.writeSnapshot(ls.opts.SnapshotPath, nb); err != nil {
+			// Roll back: the claimed ops go back in front of anything
+			// accepted since, so nothing is lost and a later compaction
+			// retries them. The epoch bump is not required for
+			// correctness (the visible triple set is unchanged) but
+			// keeps the epoch a strict ledger of state transitions.
+			ls.mu.Lock()
+			restored := make([]op, 0, len(ops)+len(ls.active))
+			restored = append(append(restored, ops...), ls.active...)
+			ls.active = restored
+			ls.imm = nil
+			ls.seq.Add(1)
+			ls.mu.Unlock()
+			stats.Took = time.Since(start)
+			return stats, fmt.Errorf("overlay: compaction persist: %w", err)
+		}
+		stats.Persisted = true
+	}
+
+	// The RCU-style swap: the only writer- or reader-visible pause is
+	// this critical section — a pointer store and some bookkeeping.
+	ls.mu.Lock()
+	ls.base = nb
+	ls.imm = nil
+	ls.compactions++
+	ls.lastCompact = time.Now()
+	ls.lastCompactTook = time.Since(start)
+	ls.lastCompactMerged = stats.Merged
+	ls.seq.Add(1)
+	ls.mu.Unlock()
+
+	stats.Took = time.Since(start)
+	return stats, nil
+}
+
+// Flush synchronously compacts the memtable into the base. After a
+// Flush with no concurrent writers, the LiveStore is quiesced: the
+// memtable is empty and every accessor serves the frozen base's
+// zero-copy paths.
+func (ls *LiveStore) Flush() error {
+	_, err := ls.Compact()
+	return err
+}
+
+// CompactionOptions configures the background compactor.
+type CompactionOptions struct {
+	// Interval is the maximum time the memtable may stay dirty before a
+	// compaction runs (default 30s).
+	Interval time.Duration
+	// Threshold is the raw op count that triggers an immediate
+	// compaction (default 10000).
+	Threshold int
+	// OnError, if non-nil, receives background compaction failures
+	// (e.g. a full disk under SnapshotPath). The compactor keeps
+	// running — the memtable retains the ops and a later pass retries.
+	OnError func(error)
+}
+
+// StartCompaction runs a background compactor: a polling loop (at a
+// tenth of Interval, clamped to [10ms, 1s]) that compacts as soon as
+// the memtable holds Threshold ops, and in any case once the memtable
+// has been dirty for Interval. The returned stop function halts the
+// loop and waits for an in-flight compaction to finish; it is
+// idempotent.
+func (ls *LiveStore) StartCompaction(opts CompactionOptions) (stop func()) {
+	if opts.Interval <= 0 {
+		opts.Interval = 30 * time.Second
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = 10000
+	}
+	poll := opts.Interval / 10
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(poll)
+		defer tick.Stop()
+		lastClean := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			if ls.pendingOps() == 0 {
+				lastClean = time.Now()
+				continue
+			}
+			if ls.pendingOps() >= opts.Threshold || time.Since(lastClean) >= opts.Interval {
+				if _, err := ls.Compact(); err != nil && opts.OnError != nil {
+					opts.OnError(err)
+				}
+				lastClean = time.Now()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

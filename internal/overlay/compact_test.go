@@ -1,0 +1,152 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/snapshot"
+	"sparqluo/internal/store"
+)
+
+// openImage opens a snapshot image and returns its store, failing the
+// test on error. The mapping is closed via t.Cleanup.
+func openImage(t *testing.T, path string) *store.Store {
+	t.Helper()
+	st, m, err := snapshot.Open(path)
+	if err != nil {
+		t.Fatalf("snapshot.Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return st
+}
+
+func TestCompactionPersistsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.img")
+	ls := New(baseStore([]rdf.Triple{tri("s", "p", "o")}), Options{SnapshotPath: path})
+	ls.Insert(tri("s2", "p", "o"), tri("s3", "p", "o"))
+	ls.Delete(tri("s", "p", "o"))
+	cs, err := ls.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Persisted || cs.Merged != 2 || cs.Adds != 2 || cs.Dels != 1 {
+		t.Errorf("compaction stats = %+v, want persisted, merged=2, adds=2, dels=1", cs)
+	}
+	st := openImage(t, path)
+	if st.NumTriples() != 2 {
+		t.Errorf("persisted image holds %d triples, want 2", st.NumTriples())
+	}
+	d := st.Dict()
+	s2, _ := d.Lookup(iri("s2"))
+	p, _ := d.Lookup(iri("p"))
+	o, _ := d.Lookup(iri("o"))
+	if !st.Contains(s2, p, o) {
+		t.Error("persisted image missing inserted triple")
+	}
+	s, _ := d.Lookup(iri("s"))
+	if st.Contains(s, p, o) {
+		t.Error("persisted image contains tombstoned triple")
+	}
+}
+
+// TestCompactionWriteFailureServesOldImage is the crash-recovery
+// satellite: a compaction whose persist step dies mid-write (injected
+// failure after a partial temp file is on disk, simulating a crash
+// between temp-write and rename) must (a) keep the previous on-disk
+// image openable and consistent, (b) keep the live store serving every
+// write from the retained memtable, and (c) leave the store able to
+// compact successfully later once the fault clears.
+func TestCompactionWriteFailureServesOldImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.img")
+	ls := New(baseStore([]rdf.Triple{tri("s", "p", "o")}), Options{SnapshotPath: path})
+
+	// First compaction persists image v1 (2 triples).
+	ls.Insert(tri("s2", "p", "o"))
+	if _, err := ls.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := openImage(t, path); st.NumTriples() != 2 {
+		t.Fatalf("image v1 holds %d triples, want 2", st.NumTriples())
+	}
+
+	// Inject a mid-write crash: the writer leaves a partial temp file
+	// next to the target (exactly what a real crash between CreateTemp
+	// and rename leaves behind) and reports failure.
+	injected := errors.New("injected: disk full")
+	realWrite := ls.writeSnapshot
+	ls.writeSnapshot = func(p string, st *store.Store) error {
+		garbage := filepath.Join(filepath.Dir(p), ".snapshot-partial123")
+		if err := os.WriteFile(garbage, []byte("SNAPSHOT-truncated-garbag"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return injected
+	}
+	ls.Insert(tri("s3", "p", "o"))
+	epochBefore := ls.Epoch()
+	if _, err := ls.Compact(); !errors.Is(err, injected) {
+		t.Fatalf("Compact with failing persist: err = %v, want injected failure", err)
+	}
+
+	// (a) The old image still opens and serves the v1 triple set — the
+	// rename-last ordering means the failed attempt never touched it.
+	st := openImage(t, path)
+	if st.NumTriples() != 2 {
+		t.Errorf("after failed compaction, on-disk image holds %d triples, want 2 (old image)", st.NumTriples())
+	}
+
+	// (b) The live store lost nothing: the claimed ops went back to the
+	// memtable and the overlay serves all three triples.
+	if ls.NumTriples() != 3 {
+		t.Errorf("live store serves %d triples after failed compaction, want 3", ls.NumTriples())
+	}
+	if stats := ls.LiveStats(); stats.MemtableOps == 0 {
+		t.Error("memtable empty after failed compaction — pending write was dropped")
+	}
+	if ls.Epoch() <= epochBefore {
+		t.Error("failed compaction did not advance the epoch ledger")
+	}
+
+	// (c) Once the fault clears, a retry persists everything.
+	ls.writeSnapshot = realWrite
+	if _, err := ls.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openImage(t, path)
+	if st2.NumTriples() != 3 {
+		t.Errorf("image v2 holds %d triples, want 3", st2.NumTriples())
+	}
+	if stats := ls.LiveStats(); stats.MemtableOps != 0 {
+		t.Errorf("memtable not drained after successful retry: %+v", stats)
+	}
+}
+
+func TestConcurrentWritesDuringCompaction(t *testing.T) {
+	ls := New(nil, Options{})
+	for i := 0; i < 500; i++ {
+		ls.Insert(tri(fmt.Sprintf("s%d", i), "p", "o"))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Writes land while the compaction below runs; none may stall
+		// or be lost.
+		for i := 500; i < 600; i++ {
+			ls.Insert(tri(fmt.Sprintf("s%d", i), "p", "o"))
+		}
+	}()
+	if err := ls.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := ls.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.Base().NumTriples(); got != 600 {
+		t.Errorf("base after compactions = %d triples, want 600", got)
+	}
+}

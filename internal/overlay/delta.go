@@ -1,0 +1,141 @@
+package overlay
+
+import (
+	"slices"
+	"sort"
+
+	"sparqluo/internal/store"
+)
+
+// dperm is one sorted permutation of a delta's triple set: the triples
+// in permutation order plus the trailing component extracted into an
+// aligned column, mirroring the base store's layout so range accessors
+// hand out zero-copy []ID views. Deltas are small (a memtable's worth),
+// so lookups are binary searches rather than CSR row pointers — a CSR
+// offset array over the dense dictionary ID space would cost O(dict)
+// memory per view, which a per-write-batch structure cannot afford.
+type dperm struct {
+	tri []store.EncTriple
+	col []store.ID
+}
+
+// delta is an immutable sorted index over one resolved side of the
+// memtable (either the net inserts or the net tombstones).
+type delta struct {
+	spo dperm // sorted (S,P,O), col = O
+	pos dperm // sorted (P,O,S), col = S
+	osp dperm // sorted (O,S,P), col = P
+}
+
+// emptyDelta is shared by views with nothing on one side, so accessors
+// never need nil checks.
+var emptyDelta = &delta{}
+
+// newDelta indexes a resolved, duplicate-free triple set. It takes
+// ownership of tris.
+func newDelta(tris []store.EncTriple) *delta {
+	if len(tris) == 0 {
+		return emptyDelta
+	}
+	mk := func(tris []store.EncTriple, cmp func(a, b store.EncTriple) int,
+		colOf func(store.EncTriple) store.ID) dperm {
+		slices.SortFunc(tris, cmp)
+		col := make([]store.ID, len(tris))
+		for i, t := range tris {
+			col[i] = colOf(t)
+		}
+		return dperm{tri: tris, col: col}
+	}
+	pos := slices.Clone(tris)
+	osp := slices.Clone(tris)
+	return &delta{
+		spo: mk(tris, store.CompareSPO, func(t store.EncTriple) store.ID { return t.O }),
+		pos: mk(pos, store.ComparePOS, func(t store.EncTriple) store.ID { return t.S }),
+		osp: mk(osp, store.CompareOSP, func(t store.EncTriple) store.ID { return t.P }),
+	}
+}
+
+func (d *delta) len() int { return len(d.spo.tri) }
+
+// bytes reports the memory footprint of the three permutations.
+func (d *delta) bytes() int64 {
+	const triSize, idSize = 12, 4
+	return 3 * int64(len(d.spo.tri)) * (triSize + idSize)
+}
+
+func (d *delta) contains(s, p, o store.ID) bool {
+	_, ok := slices.BinarySearchFunc(d.spo.tri, store.EncTriple{S: s, P: p, O: o}, store.CompareSPO)
+	return ok
+}
+
+// run1 returns the [lo,hi) range of tri whose leading component (as
+// read by lead) equals id; tri must be sorted with that component
+// leading.
+func run1(tri []store.EncTriple, id store.ID, lead func(store.EncTriple) store.ID) (int, int) {
+	lo := sort.Search(len(tri), func(i int) bool { return lead(tri[i]) >= id })
+	hi := sort.Search(len(tri), func(i int) bool { return lead(tri[i]) > id })
+	return lo, hi
+}
+
+// run2 narrows tri[lo:hi) to the range whose second component (as read
+// by mid) equals id; the input range must be sorted by that component.
+func run2(tri []store.EncTriple, lo, hi int, id store.ID, mid func(store.EncTriple) store.ID) (int, int) {
+	a := lo + sort.Search(hi-lo, func(i int) bool { return mid(tri[lo+i]) >= id })
+	b := lo + sort.Search(hi-lo, func(i int) bool { return mid(tri[lo+i]) > id })
+	return a, b
+}
+
+func leadS(t store.EncTriple) store.ID { return t.S }
+func leadP(t store.EncTriple) store.ID { return t.P }
+func leadO(t store.EncTriple) store.ID { return t.O }
+
+// The accessors below mirror the base store's contract exactly:
+// ascending-ID column views, permutation-sorted triple slices.
+
+func (d *delta) objectsSP(s, p store.ID) []store.ID {
+	lo, hi := run1(d.spo.tri, s, leadS)
+	a, b := run2(d.spo.tri, lo, hi, p, leadP)
+	return d.spo.col[a:b]
+}
+
+func (d *delta) subjectsPO(p, o store.ID) []store.ID {
+	lo, hi := run1(d.pos.tri, p, leadP)
+	a, b := run2(d.pos.tri, lo, hi, o, leadO)
+	return d.pos.col[a:b]
+}
+
+func (d *delta) predsSO(s, o store.ID) []store.ID {
+	lo, hi := run1(d.osp.tri, o, leadO)
+	a, b := run2(d.osp.tri, lo, hi, s, leadS)
+	return d.osp.col[a:b]
+}
+
+func (d *delta) subjectTriples(s store.ID) []store.EncTriple {
+	lo, hi := run1(d.spo.tri, s, leadS)
+	return d.spo.tri[lo:hi]
+}
+
+func (d *delta) predicateTriples(p store.ID) []store.EncTriple {
+	lo, hi := run1(d.pos.tri, p, leadP)
+	return d.pos.tri[lo:hi]
+}
+
+func (d *delta) objectTriples(o store.ID) []store.EncTriple {
+	lo, hi := run1(d.osp.tri, o, leadO)
+	return d.osp.tri[lo:hi]
+}
+
+func (d *delta) countS(s store.ID) int {
+	lo, hi := run1(d.spo.tri, s, leadS)
+	return hi - lo
+}
+
+func (d *delta) countP(p store.ID) int {
+	lo, hi := run1(d.pos.tri, p, leadP)
+	return hi - lo
+}
+
+func (d *delta) countO(o store.ID) int {
+	lo, hi := run1(d.osp.tri, o, leadO)
+	return hi - lo
+}

@@ -1,0 +1,52 @@
+package overlay
+
+import "sparqluo/internal/store"
+
+// mergeIDs returns (base − minus) ∪ plus in ascending order. All three
+// inputs are ascending and duplicate-free, with minus ⊆ base and
+// plus ∩ base = ∅ (the resolve invariants), so the merge is a single
+// three-finger pass with no equality cases between base and plus. The
+// common case — no delta touches this key — returns base itself,
+// keeping the zero-copy fast path of the frozen store.
+func mergeIDs(base, minus, plus []store.ID) []store.ID {
+	if len(minus) == 0 && len(plus) == 0 {
+		return base
+	}
+	out := make([]store.ID, 0, len(base)-len(minus)+len(plus))
+	j, k := 0, 0
+	for _, v := range base {
+		if j < len(minus) && minus[j] == v {
+			j++
+			continue
+		}
+		for k < len(plus) && plus[k] < v {
+			out = append(out, plus[k])
+			k++
+		}
+		out = append(out, v)
+	}
+	return append(out, plus[k:]...)
+}
+
+// mergeTriples is mergeIDs over triple slices sorted by cmp: it returns
+// (base − minus) ∪ plus in cmp order, under the same invariants.
+func mergeTriples(base, minus, plus []store.EncTriple,
+	cmp func(a, b store.EncTriple) int) []store.EncTriple {
+	if len(minus) == 0 && len(plus) == 0 {
+		return base
+	}
+	out := make([]store.EncTriple, 0, len(base)-len(minus)+len(plus))
+	j, k := 0, 0
+	for _, t := range base {
+		if j < len(minus) && minus[j] == t {
+			j++
+			continue
+		}
+		for k < len(plus) && cmp(plus[k], t) < 0 {
+			out = append(out, plus[k])
+			k++
+		}
+		out = append(out, t)
+	}
+	return append(out, plus[k:]...)
+}

@@ -1,0 +1,330 @@
+// Package overlay adds live updates to the otherwise-immutable columnar
+// store: an LSM-flavored two-level structure in which a small mutable
+// memtable (an append log of insert and tombstone operations) sits on
+// top of an immutable frozen base store, and the two sorted sides are
+// merged at read time so every store.Reader accessor sees one
+// consistent triple set.
+//
+// The design leans on three properties the repo already has:
+//
+//   - both sides are ID-sorted, so the read path is a streaming merge of
+//     zero-copy base runs with small sorted delta runs — the same
+//     combinator shape as the PR 5 merge joins;
+//   - the dictionary is append-only and dense, so one *store.Dict is
+//     shared by the memtable and every generation of the base;
+//   - the PR 3 atomic snapshot writer (temp+fsync+rename) is the
+//     compaction persistence primitive, so a crash mid-compaction
+//     always leaves the previous image intact on disk.
+//
+// Concurrency model. Writes (Insert/Delete) append operations to the
+// memtable under a mutex and bump an epoch counter; each write call is
+// one atomic batch. Reads go through an immutable View pinned per query
+// (via store.Viewer): the view is (re)built lazily at the current epoch
+// and then shared by all readers until the next write, so a running
+// query never observes a partial batch — snapshot isolation by
+// construction. Compaction resolves the memtable against the base
+// (tombstones annihilate their targets), folds the survivors into a
+// fresh frozen base with the existing sort+compact path, optionally
+// persists it with the atomic snapshot writer, and swaps the base
+// pointer under the mutex — an RCU-style swap: in-flight queries finish
+// on the old image, and the only reader-visible pause is the pointer
+// swap itself.
+package overlay
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/snapshot"
+	"sparqluo/internal/store"
+)
+
+// op is one memtable entry: a dictionary-encoded triple plus a
+// tombstone flag. The memtable is an append log of ops; later ops win
+// over earlier ones for the same triple.
+type op struct {
+	t   store.EncTriple
+	del bool
+}
+
+// Options configures a LiveStore.
+type Options struct {
+	// SnapshotPath, if non-empty, makes every compaction persist the
+	// new base image there with the atomic snapshot writer *before*
+	// swapping it in. A failed persist aborts the compaction: the ops
+	// return to the memtable and the old base (and old on-disk image)
+	// keep serving.
+	SnapshotPath string
+}
+
+// LiveStore is a mutable store.Reader: an immutable frozen base plus a
+// mutex-guarded memtable of pending inserts and tombstones. It
+// implements store.Viewer, so the execution funnel pins one immutable
+// View per query. All methods are safe for concurrent use.
+type LiveStore struct {
+	dict *store.Dict
+	opts Options
+
+	mu     sync.Mutex   // guards base/imm/active and the compaction bookkeeping
+	base   *store.Store // frozen; replaced (never mutated) by compaction
+	imm    []op         // ops claimed by an in-progress compaction
+	active []op         // ops accepted since
+
+	// seq is the epoch: bumped (under mu) by every write batch and
+	// every compaction swap. Readers compare it lock-free against the
+	// published view's epoch to decide whether a rebuild is needed.
+	seq atomic.Uint64
+	cur atomic.Pointer[View]
+
+	compactMu  sync.Mutex // serializes compactions
+	compacting atomic.Bool
+
+	// compaction bookkeeping, guarded by mu
+	compactions       int
+	lastCompact       time.Time
+	lastCompactTook   time.Duration
+	lastCompactMerged int
+
+	// writeSnapshot persists a compacted base; swapped by the
+	// crash-recovery tests to inject write failures.
+	writeSnapshot func(path string, st *store.Store) error
+}
+
+// New layers a live overlay over base. A nil base starts empty. The
+// base is frozen if it is not already (computing stats); it must not be
+// mutated by anyone else afterwards.
+func New(base *store.Store, opts Options) *LiveStore {
+	if base == nil {
+		base = store.New()
+	}
+	base.Freeze()
+	ls := &LiveStore{
+		dict:          base.Dict(),
+		opts:          opts,
+		base:          base,
+		writeSnapshot: snapshot.WriteFile,
+	}
+	return ls
+}
+
+// Insert adds the given triples as one atomic batch: a concurrent query
+// sees either none or all of them. Duplicates of existing triples are
+// absorbed (RDF set semantics); an insert also cancels any pending
+// tombstone for the same triple.
+func (ls *LiveStore) Insert(ts ...rdf.Triple) {
+	if len(ts) == 0 {
+		return
+	}
+	ops := make([]op, len(ts))
+	for i, t := range ts {
+		ops[i] = op{t: store.EncTriple{
+			S: ls.dict.Encode(t.S),
+			P: ls.dict.Encode(t.P),
+			O: ls.dict.Encode(t.O),
+		}}
+	}
+	ls.mu.Lock()
+	ls.active = append(ls.active, ops...)
+	ls.seq.Add(1)
+	ls.mu.Unlock()
+}
+
+// Delete removes the given triples as one atomic batch, by appending
+// tombstones to the memtable. Deleting an absent triple is a no-op; a
+// triple with any term the dictionary has never seen cannot exist and
+// is skipped without growing the dictionary.
+func (ls *LiveStore) Delete(ts ...rdf.Triple) {
+	if len(ts) == 0 {
+		return
+	}
+	ops := make([]op, 0, len(ts))
+	for _, t := range ts {
+		s, ok := ls.dict.Lookup(t.S)
+		if !ok {
+			continue
+		}
+		p, ok := ls.dict.Lookup(t.P)
+		if !ok {
+			continue
+		}
+		o, ok := ls.dict.Lookup(t.O)
+		if !ok {
+			continue
+		}
+		ops = append(ops, op{t: store.EncTriple{S: s, P: p, O: o}, del: true})
+	}
+	if len(ops) == 0 {
+		return
+	}
+	ls.mu.Lock()
+	ls.active = append(ls.active, ops...)
+	ls.seq.Add(1)
+	ls.mu.Unlock()
+}
+
+// Epoch returns the current write epoch. It advances on every write
+// batch and every compaction swap; a View carries the epoch it was
+// built at.
+func (ls *LiveStore) Epoch() uint64 { return ls.seq.Load() }
+
+// Base returns the current frozen base store (e.g. to snapshot a
+// quiesced store after Flush). The caller must treat it as read-only;
+// a concurrent compaction may swap in a successor at any time.
+func (ls *LiveStore) Base() *store.Store {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.base
+}
+
+// View returns an immutable snapshot of the current state
+// (store.Viewer). Views are cached: all readers between two writes
+// share one View, and the fast path is two atomic loads.
+func (ls *LiveStore) View() store.Reader { return ls.view() }
+
+func (ls *LiveStore) view() *View {
+	// Load the epoch before the view pointer: if they match, the view
+	// is current; if a write lands in between, the mismatch sends us
+	// through the locked rebuild.
+	if v := ls.cur.Load(); v != nil && v.epoch == ls.seq.Load() {
+		return v
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.viewLocked()
+}
+
+func (ls *LiveStore) viewLocked() *View {
+	epoch := ls.seq.Load()
+	if v := ls.cur.Load(); v != nil && v.epoch == epoch {
+		return v
+	}
+	var ops []op
+	if n := len(ls.imm) + len(ls.active); n > 0 {
+		ops = make([]op, 0, n)
+		ops = append(append(ops, ls.imm...), ls.active...)
+	}
+	v := newView(ls.base, ops, epoch)
+	ls.cur.Store(v)
+	return v
+}
+
+// pendingOps reports the number of raw memtable operations (inserts +
+// tombstones, including ones a compaction has claimed but not yet
+// folded in).
+func (ls *LiveStore) pendingOps() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.imm) + len(ls.active)
+}
+
+// LiveStats is a point-in-time picture of the overlay, reported by
+// /stats and /healthz.
+type LiveStats struct {
+	Epoch                uint64        // current write epoch
+	BaseTriples          int           // triples in the frozen base
+	MemtableOps          int           // raw pending memtable operations
+	MemtableAdds         int           // net inserts visible on top of the base
+	Tombstones           int           // net deletes pending against the base
+	Compactions          int           // completed compactions
+	Compacting           bool          // a compaction is in progress
+	LastCompaction       time.Time     // completion time of the last compaction
+	LastCompactionTook   time.Duration // duration of the last compaction
+	LastCompactionMerged int           // triples in the base it produced
+}
+
+// LiveStats returns the current overlay statistics. It resolves the
+// memtable (building the current view if stale), so the add/tombstone
+// counts are the net effect a query would see.
+func (ls *LiveStore) LiveStats() LiveStats {
+	v := ls.view()
+	ls.mu.Lock()
+	st := LiveStats{
+		Epoch:                v.epoch,
+		BaseTriples:          v.base.NumTriples(),
+		MemtableOps:          len(ls.imm) + len(ls.active),
+		MemtableAdds:         v.add.len(),
+		Tombstones:           v.del.len(),
+		Compactions:          ls.compactions,
+		Compacting:           ls.compacting.Load(),
+		LastCompaction:       ls.lastCompact,
+		LastCompactionTook:   ls.lastCompactTook,
+		LastCompactionMerged: ls.lastCompactMerged,
+	}
+	ls.mu.Unlock()
+	return st
+}
+
+// resolve replays the op log against base and returns the net effect:
+// adds (triples to insert, none of which are in base) and dels
+// (tombstones, all of which are in base). Later ops win over earlier
+// ones for the same triple; no-ops (inserting a present triple,
+// deleting an absent one) vanish. The result upholds the merge
+// invariants every View accessor relies on:
+//
+//	adds ∩ base = ∅,  dels ⊆ base,  adds ∩ dels = ∅
+func resolve(base *store.Store, ops []op) (adds, dels []store.EncTriple) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	last := make(map[store.EncTriple]bool, len(ops))
+	for _, o := range ops {
+		last[o.t] = o.del
+	}
+	for t, del := range last {
+		inBase := base.Contains(t.S, t.P, t.O)
+		if del {
+			if inBase {
+				dels = append(dels, t)
+			}
+		} else if !inBase {
+			adds = append(adds, t)
+		}
+	}
+	return adds, dels
+}
+
+// LiveStore itself satisfies store.Reader by delegating every accessor
+// to the current view, so it can sit directly in a DB; the execution
+// funnel additionally pins one view per query via store.Viewer.
+
+func (ls *LiveStore) Dict() *store.Dict        { return ls.dict }
+func (ls *LiveStore) Stats() *store.Stats      { return ls.view().Stats() }
+func (ls *LiveStore) Frozen() bool             { return false }
+func (ls *LiveStore) NumTriples() int          { return ls.view().NumTriples() }
+func (ls *LiveStore) MemStats() store.MemStats { return ls.view().MemStats() }
+
+func (ls *LiveStore) Contains(s, p, o store.ID) bool      { return ls.view().Contains(s, p, o) }
+func (ls *LiveStore) ObjectsSP(s, p store.ID) []store.ID  { return ls.view().ObjectsSP(s, p) }
+func (ls *LiveStore) SubjectsPO(p, o store.ID) []store.ID { return ls.view().SubjectsPO(p, o) }
+func (ls *LiveStore) PredsSO(s, o store.ID) []store.ID    { return ls.view().PredsSO(s, o) }
+func (ls *LiveStore) SubjectTriples(s store.ID) []store.EncTriple {
+	return ls.view().SubjectTriples(s)
+}
+func (ls *LiveStore) PredicateTriples(p store.ID) []store.EncTriple {
+	return ls.view().PredicateTriples(p)
+}
+func (ls *LiveStore) ObjectTriples(o store.ID) []store.EncTriple {
+	return ls.view().ObjectTriples(o)
+}
+func (ls *LiveStore) SubjectsOfPredicate(p store.ID) []store.ID {
+	return ls.view().SubjectsOfPredicate(p)
+}
+func (ls *LiveStore) ObjectsOfPredicate(p store.ID) []store.ID {
+	return ls.view().ObjectsOfPredicate(p)
+}
+func (ls *LiveStore) Triples() []store.EncTriple { return ls.view().Triples() }
+
+func (ls *LiveStore) CountP(p store.ID) int     { return ls.view().CountP(p) }
+func (ls *LiveStore) CountS(s store.ID) int     { return ls.view().CountS(s) }
+func (ls *LiveStore) CountO(o store.ID) int     { return ls.view().CountO(o) }
+func (ls *LiveStore) CountSP(s, p store.ID) int { return ls.view().CountSP(s, p) }
+func (ls *LiveStore) CountPO(p, o store.ID) int { return ls.view().CountPO(p, o) }
+func (ls *LiveStore) CountSO(s, o store.ID) int { return ls.view().CountSO(s, o) }
+
+var (
+	_ store.Reader = (*LiveStore)(nil)
+	_ store.Viewer = (*LiveStore)(nil)
+	_ store.Reader = (*View)(nil)
+)

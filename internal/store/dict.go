@@ -22,17 +22,17 @@ const None ID = 0
 
 // Dict maps RDF terms to dense IDs and back. IDs start at 1; 0 is reserved.
 // The zero value is not usable; call NewDict or NewLoadedDict.
+//
+// A Dict is safe for concurrent use: Encode takes a write lock, the
+// read-side accessors take a read lock. The term slice is append-only —
+// an ID, once assigned, decodes to the same term forever — which is what
+// lets the live-update overlay share one dictionary between a mutating
+// memtable and immutable frozen bases.
 type Dict struct {
+	mu       sync.RWMutex
 	ids      map[string]ID
 	terms    []rdf.Term // terms[i-1] is the term with ID i
 	strBytes int64      // running total of term string bytes (see StringBytes)
-
-	// index builds ids lazily for dictionaries reconstructed from a
-	// snapshot (NewLoadedDict), keeping snapshot open time independent
-	// of dictionary size: the map is only materialized when the first
-	// query needs a term→ID lookup. For NewDict dictionaries the map
-	// exists from the start and the Once is a no-op.
-	index sync.Once
 }
 
 // NewDict returns an empty dictionary.
@@ -42,9 +42,10 @@ func NewDict() *Dict {
 
 // NewLoadedDict returns a dictionary over a prebuilt term slice
 // (terms[i-1] has ID i), as reconstructed from a snapshot image. The
-// key→ID index is built lazily on the first Lookup or Encode; until
-// then the dictionary only supports Decode, which is all the zero-copy
-// load path needs.
+// key→ID index is built lazily on the first Lookup or Encode, keeping
+// snapshot open time independent of dictionary size; until then the
+// dictionary only supports Decode, which is all the zero-copy load path
+// needs.
 func NewLoadedDict(terms []rdf.Term) *Dict {
 	d := &Dict{terms: terms}
 	for _, t := range terms {
@@ -57,25 +58,24 @@ func termBytes(t rdf.Term) int64 {
 	return int64(len(t.Value)) + int64(len(t.Lang)) + int64(len(t.Datatype))
 }
 
-// ensureIndex materializes the key→ID map for loaded dictionaries. It
-// is safe for concurrent readers (frozen stores serve Lookup from many
-// goroutines).
-func (d *Dict) ensureIndex() {
-	d.index.Do(func() {
-		if d.ids != nil {
-			return
-		}
-		ids := make(map[string]ID, len(d.terms))
-		for i, t := range d.terms {
-			ids[t.Key()] = ID(i + 1)
-		}
-		d.ids = ids
-	})
+// ensureIndexLocked materializes the key→ID map for loaded
+// dictionaries. Callers must hold d.mu for writing.
+func (d *Dict) ensureIndexLocked() {
+	if d.ids != nil {
+		return
+	}
+	ids := make(map[string]ID, len(d.terms))
+	for i, t := range d.terms {
+		ids[t.Key()] = ID(i + 1)
+	}
+	d.ids = ids
 }
 
 // Encode returns the ID for t, assigning a fresh one if t is new.
 func (d *Dict) Encode(t rdf.Term) ID {
-	d.ensureIndex()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ensureIndexLocked()
 	key := t.Key()
 	if id, ok := d.ids[key]; ok {
 		return id
@@ -89,14 +89,26 @@ func (d *Dict) Encode(t rdf.Term) ID {
 
 // Lookup returns the ID for t without inserting, and whether it exists.
 func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
-	d.ensureIndex()
-	id, ok := d.ids[t.Key()]
+	key := t.Key()
+	d.mu.RLock()
+	if d.ids != nil {
+		id, ok := d.ids[key]
+		d.mu.RUnlock()
+		return id, ok
+	}
+	d.mu.RUnlock()
+	d.mu.Lock()
+	d.ensureIndexLocked()
+	id, ok := d.ids[key]
+	d.mu.Unlock()
 	return id, ok
 }
 
 // Decode returns the term for id. It panics on the reserved ID 0 or an
 // out-of-range id, which always indicates a programming error.
 func (d *Dict) Decode(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id == None || int(id) > len(d.terms) {
 		panic(fmt.Sprintf("store: decode of invalid ID %d (dict size %d)", id, len(d.terms)))
 	}
@@ -104,15 +116,28 @@ func (d *Dict) Decode(id ID) rdf.Term {
 }
 
 // Len returns the number of distinct terms in the dictionary.
-func (d *Dict) Len() int { return len(d.terms) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
 
 // Terms returns the terms in ID order (Terms()[i] has ID i+1). The
-// slice is the dictionary's backing array; callers must not modify it.
-// The snapshot writer is the intended consumer.
-func (d *Dict) Terms() []rdf.Term { return d.terms }
+// slice is a snapshot-consistent view of the dictionary's backing array
+// (append-only, so a captured view never mutates); callers must not
+// modify it. The snapshot writer is the intended consumer.
+func (d *Dict) Terms() []rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms
+}
 
 // StringBytes returns the total bytes of term string data (lexical
 // forms, language tags, datatype IRIs) held by the dictionary. The
 // total is maintained incrementally, so this is a constant-time read —
 // endpoints may report it per request.
-func (d *Dict) StringBytes() int64 { return d.strBytes }
+func (d *Dict) StringBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.strBytes
+}

@@ -41,6 +41,19 @@ type Reader interface {
 	CountSO(s, o ID) int
 }
 
+// Viewer is implemented by mutable Readers (the live-update overlay)
+// that can pin an immutable point-in-time view of themselves. The
+// execution funnel resolves a Viewer to one View per query, so a
+// running query sees exactly one epoch of the data — concurrent writes
+// and compaction swaps land in later views and are invisible to it.
+// Immutable Readers simply don't implement Viewer and are used as-is.
+type Viewer interface {
+	Reader
+	// View returns an immutable snapshot of the current state. The
+	// returned Reader is safe for concurrent use and never changes.
+	View() Reader
+}
+
 // ShardedReader is a Reader whose triple set is range-partitioned by
 // subject ID across standalone shard stores. Engine scan paths use it to
 // fan work out per shard and recombine in global order; everything else

@@ -1,12 +1,19 @@
 package store
 
 import (
+	"errors"
 	"io"
 	"math"
 	"slices"
 
 	"sparqluo/internal/rdf"
 )
+
+// ErrFrozen is returned by Add/AddAll/LoadNTriples on a store that has
+// been made read-only by Freeze or snapshot loading. A serving process
+// must never panic on an ingest path; callers that want live mutation
+// route writes through the overlay subsystem instead.
+var ErrFrozen = errors.New("store: add after freeze (store is read-only)")
 
 // EncTriple is a dictionary-encoded triple.
 type EncTriple struct {
@@ -263,6 +270,33 @@ func FromLayout(dict *Dict, l Layout, stats *Stats) *Store {
 	}
 }
 
+// FromTriples builds a frozen store over an existing dictionary from an
+// encoded triple slice, running the same sort+compact+permute path as
+// Freeze. It takes ownership of tris (the slice is sorted in place and
+// becomes the SPO permutation). The compactor uses it to fold a merged
+// (base − tombstones) ∪ memtable triple set into a fresh immutable
+// base; withStats controls whether the O(dictionary) statistics pass
+// runs (required for query planning over the result).
+func FromTriples(dict *Dict, tris []EncTriple, withStats bool) *Store {
+	st := &Store{dict: dict, log: tris}
+	st.build()
+	st.frozen = true
+	st.log = nil
+	if withStats {
+		st.stats = computeStats(st)
+	}
+	return st
+}
+
+// CompareSPO orders triples by (S,P,O) — the canonical permutation order.
+func CompareSPO(a, b EncTriple) int { return cmpSPO(a, b) }
+
+// ComparePOS orders triples by (P,O,S).
+func ComparePOS(a, b EncTriple) int { return cmpPOS(a, b) }
+
+// CompareOSP orders triples by (O,S,P).
+func CompareOSP(a, b EncTriple) int { return cmpOSP(a, b) }
+
 // Frozen reports whether the store has been made read-only (by Freeze or
 // by snapshot loading).
 func (st *Store) Frozen() bool { return st.frozen }
@@ -279,23 +313,28 @@ func (st *Store) NumTriples() int {
 
 // Add inserts one triple. Duplicate triples are deduplicated by the
 // sort+compact pass at build time, keeping Add itself O(1) amortized so
-// bulk loading is O(n log n) overall. Add panics if called after Freeze.
-func (st *Store) Add(t rdf.Triple) {
+// bulk loading is O(n log n) overall. Add returns ErrFrozen if called
+// after Freeze.
+func (st *Store) Add(t rdf.Triple) error {
 	if st.frozen {
-		panic("store: Add after Freeze")
+		return ErrFrozen
 	}
 	s := st.dict.Encode(t.S)
 	p := st.dict.Encode(t.P)
 	o := st.dict.Encode(t.O)
 	st.log = append(st.log, EncTriple{s, p, o})
 	st.built = false
+	return nil
 }
 
-// AddAll inserts every triple in ts.
-func (st *Store) AddAll(ts []rdf.Triple) {
+// AddAll inserts every triple in ts, stopping at the first error.
+func (st *Store) AddAll(ts []rdf.Triple) error {
 	for _, t := range ts {
-		st.Add(t)
+		if err := st.Add(t); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // LoadNTriples reads an N-Triples document from r and inserts every triple.
@@ -309,7 +348,9 @@ func (st *Store) LoadNTriples(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		st.Add(t)
+		if err := st.Add(t); err != nil {
+			return err
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -58,15 +59,22 @@ func TestDuplicatesIgnored(t *testing.T) {
 	}
 }
 
-func TestAddAfterFreezePanics(t *testing.T) {
+func TestAddAfterFreezeErrors(t *testing.T) {
 	st := New()
-	st.Freeze()
-	defer func() {
-		if recover() == nil {
-			t.Error("Add after Freeze should panic")
-		}
-	}()
 	st.Add(tri("s", "p", "o"))
+	st.Freeze()
+	if err := st.Add(tri("s2", "p", "o")); !errors.Is(err, ErrFrozen) {
+		t.Errorf("Add after Freeze: err = %v, want ErrFrozen", err)
+	}
+	if err := st.AddAll([]rdf.Triple{tri("s3", "p", "o")}); !errors.Is(err, ErrFrozen) {
+		t.Errorf("AddAll after Freeze: err = %v, want ErrFrozen", err)
+	}
+	if err := st.LoadNTriples(strings.NewReader("<a:s> <a:p> <a:o> .\n")); !errors.Is(err, ErrFrozen) {
+		t.Errorf("LoadNTriples after Freeze: err = %v, want ErrFrozen", err)
+	}
+	if st.NumTriples() != 1 {
+		t.Errorf("rejected writes mutated the store: %d triples", st.NumTriples())
+	}
 }
 
 func TestDecodeInvalidPanics(t *testing.T) {

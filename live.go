@@ -1,0 +1,239 @@
+package sparqluo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sparqluo/internal/overlay"
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/snapshot"
+	"sparqluo/internal/store"
+)
+
+// ErrFrozen is returned by write APIs (Add, AddAll, Load) on a frozen
+// or sharded database without live updates enabled. It replaces the
+// historical panic: a serving process must be able to reject a stray
+// write without dying.
+var ErrFrozen = store.ErrFrozen
+
+// ErrNotLive is returned by live-only APIs (Insert, Delete, Flush,
+// StartCompaction) on a database without live updates enabled.
+var ErrNotLive = errors.New("sparqluo: database is not live (call EnableLiveUpdates or OpenLive)")
+
+// LiveStats is a point-in-time picture of the live-update overlay:
+// memtable and tombstone counts, the write epoch, and compaction
+// bookkeeping. Reported by DB.LiveStats and the /stats and /healthz
+// endpoints.
+type LiveStats = overlay.LiveStats
+
+// CompactionStats describes one completed compaction.
+type CompactionStats = overlay.CompactionStats
+
+// LiveOptions configures live updates on a database.
+type LiveOptions struct {
+	// SnapshotPath, if non-empty, makes every compaction persist the
+	// compacted base image there with the atomic snapshot writer
+	// (temp+fsync+rename) before swapping it in. A failed persist
+	// aborts the compaction and keeps both the old in-memory base and
+	// the old on-disk image serving; the pending writes stay in the
+	// memtable for a later retry.
+	SnapshotPath string
+}
+
+// CompactionOptions configures the background compactor started by
+// DB.StartCompaction.
+type CompactionOptions struct {
+	// Interval is the maximum time the memtable may stay dirty before
+	// a compaction runs (default 30s).
+	Interval time.Duration
+	// Threshold is the pending-operation count that triggers an
+	// immediate compaction (default 10000).
+	Threshold int
+	// OnError, if non-nil, receives background compaction failures.
+	// The compactor keeps running; the memtable retains the writes.
+	OnError func(error)
+}
+
+// OpenLive returns an empty live database: Insert/Delete work
+// immediately, queries may run concurrently with writes, and a
+// background compactor can fold the memtable into the frozen base.
+func OpenLive(opts LiveOptions) *DB {
+	return &DB{st: overlay.New(nil, overlay.Options{SnapshotPath: opts.SnapshotPath})}
+}
+
+// EnableLiveUpdates layers the mutable delta overlay over the
+// database's current store, turning a loaded (or snapshot-opened)
+// read-only database into a live one: subsequent Insert/Delete calls
+// land in a memtable that queries see merged with the frozen base,
+// snapshot-isolated per query. The database is frozen first if it is
+// not already.
+//
+// Call it during startup, before the database is shared with other
+// goroutines: the store swap itself is not synchronized. Sharded
+// databases are not supported (shard-aware write routing is an open
+// roadmap slice).
+func (db *DB) EnableLiveUpdates(opts LiveOptions) error {
+	if db.Live() {
+		return fmt.Errorf("sparqluo: live updates already enabled")
+	}
+	m := db.mem()
+	if m == nil {
+		return fmt.Errorf("sparqluo: live updates on a sharded database are not supported")
+	}
+	m.Freeze()
+	db.st = overlay.New(m, overlay.Options{SnapshotPath: opts.SnapshotPath})
+	return nil
+}
+
+// Live reports whether live updates are enabled.
+func (db *DB) Live() bool { return db.liveStore() != nil }
+
+// liveStore returns the live overlay backing the database, or nil.
+func (db *DB) liveStore() *overlay.LiveStore {
+	ls, _ := db.st.(*overlay.LiveStore)
+	return ls
+}
+
+// Insert adds the given triples as one atomic batch: a query running
+// concurrently sees either none or all of them (snapshot isolation by
+// epoch). Inserting a triple that already exists is a no-op (RDF set
+// semantics). Requires live updates.
+func (db *DB) Insert(ts ...Triple) error {
+	ls := db.liveStore()
+	if ls == nil {
+		return ErrNotLive
+	}
+	ls.Insert(ts...)
+	return nil
+}
+
+// Delete removes the given triples as one atomic batch, by writing
+// tombstones that hide the targets immediately and annihilate them at
+// the next compaction. Deleting an absent triple is a no-op. Requires
+// live updates.
+func (db *DB) Delete(ts ...Triple) error {
+	ls := db.liveStore()
+	if ls == nil {
+		return ErrNotLive
+	}
+	ls.Delete(ts...)
+	return nil
+}
+
+// InsertNTriples decodes an N-Triples document (with optional
+// Turtle-style @prefix directives) and inserts every triple as one
+// atomic batch, returning the number of triples decoded. The HTTP
+// POST /update endpoint is a thin wrapper over it.
+func (db *DB) InsertNTriples(r io.Reader) (int, error) {
+	ls := db.liveStore()
+	if ls == nil {
+		return 0, ErrNotLive
+	}
+	ts, err := decodeAll(r)
+	if err != nil {
+		return 0, err
+	}
+	ls.Insert(ts...)
+	return len(ts), nil
+}
+
+// DeleteNTriples decodes an N-Triples document and deletes every triple
+// as one atomic batch, returning the number of triples decoded.
+func (db *DB) DeleteNTriples(r io.Reader) (int, error) {
+	ls := db.liveStore()
+	if ls == nil {
+		return 0, ErrNotLive
+	}
+	ts, err := decodeAll(r)
+	if err != nil {
+		return 0, err
+	}
+	ls.Delete(ts...)
+	return len(ts), nil
+}
+
+func decodeAll(r io.Reader) ([]Triple, error) {
+	d := rdf.NewDecoder(r)
+	var ts []Triple
+	for {
+		t, err := d.Decode()
+		if err == io.EOF {
+			return ts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+}
+
+// Flush synchronously compacts the memtable into the frozen base:
+// tombstones annihilate their targets, the survivors are folded in
+// with the store's sort+compact path, and (with a SnapshotPath
+// configured) the new base is persisted atomically before the swap.
+// After a Flush with no concurrent writers the database is quiesced —
+// every read serves the frozen base's zero-copy paths, and results are
+// byte-identical to a freshly frozen store over the same triples.
+// Requires live updates.
+func (db *DB) Flush() error {
+	_, err := db.Compact()
+	return err
+}
+
+// Compact is Flush with the compaction's statistics: how many triples
+// the new base holds, how many net inserts and tombstones were folded
+// in, how long it took, and whether an image was persisted. Requires
+// live updates.
+func (db *DB) Compact() (CompactionStats, error) {
+	ls := db.liveStore()
+	if ls == nil {
+		return CompactionStats{}, ErrNotLive
+	}
+	return ls.Compact()
+}
+
+// StartCompaction runs the background compactor: the memtable is
+// folded into the base whenever it holds opts.Threshold pending
+// operations, and in any case within opts.Interval of turning dirty.
+// In-flight queries finish on the view they pinned; the only
+// reader-visible pause is the base pointer swap. The returned stop
+// function (idempotent) halts the compactor and waits for an in-flight
+// compaction to finish. Requires live updates.
+func (db *DB) StartCompaction(opts CompactionOptions) (stop func(), err error) {
+	ls := db.liveStore()
+	if ls == nil {
+		return nil, ErrNotLive
+	}
+	return ls.StartCompaction(overlay.CompactionOptions{
+		Interval:  opts.Interval,
+		Threshold: opts.Threshold,
+		OnError:   opts.OnError,
+	}), nil
+}
+
+// LiveStats returns overlay statistics and whether the database is
+// live.
+func (db *DB) LiveStats() (LiveStats, bool) {
+	ls := db.liveStore()
+	if ls == nil {
+		return LiveStats{}, false
+	}
+	return ls.LiveStats(), true
+}
+
+// FromStore wraps an existing single store in a DB, for advanced
+// integrations and tests that build stores directly (e.g. with
+// store.FromTriples). The store should be frozen before querying.
+func FromStore(st *store.Store) *DB { return &DB{st: st} }
+
+// writeLiveSnapshot flushes the memtable and persists the quiesced
+// base; see DB.WriteSnapshot.
+func (db *DB) writeLiveSnapshot(path string) error {
+	ls := db.liveStore()
+	if err := ls.Flush(); err != nil {
+		return err
+	}
+	return snapshot.WriteFile(path, ls.Base())
+}

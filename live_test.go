@@ -1,0 +1,403 @@
+package sparqluo_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sparqluo"
+	"sparqluo/internal/bench"
+	"sparqluo/internal/lubm"
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/store"
+)
+
+// liveReference rebuilds, from first principles, the frozen store a
+// quiesced live database must be indistinguishable from: the dictionary
+// is replayed in the exact order the live store grew it (base triples
+// first, then every inserted triple in insertion order — Delete never
+// allocates IDs), and the surviving triple set is folded through the
+// same sort+compact build the compactor uses. Identical dictionary IDs
+// make the comparison maximally strict: W3C JSON output must match
+// byte for byte, not just up to result reordering.
+func liveReference(base, inserted, final []rdf.Triple) *sparqluo.DB {
+	d := store.NewDict()
+	enc := func(t rdf.Triple) store.EncTriple {
+		return store.EncTriple{S: d.Encode(t.S), P: d.Encode(t.P), O: d.Encode(t.O)}
+	}
+	for _, t := range base {
+		enc(t)
+	}
+	for _, t := range inserted {
+		enc(t)
+	}
+	encFinal := make([]store.EncTriple, len(final))
+	for i, t := range final {
+		encFinal[i] = enc(t)
+	}
+	return sparqluo.FromStore(store.FromTriples(d, encFinal, true))
+}
+
+// TestLiveQuiescedEquivalence is the live-update subsystem's central
+// acceptance test: after an arbitrary interleaving of insert and delete
+// batches followed by a Flush, a live database must answer every LUBM
+// benchmark query with output byte-identical (W3C SPARQL JSON) to a
+// freshly frozen store built directly from the surviving triples —
+// across both engines, all four strategies, and both sequential and
+// parallel evaluation. Any divergence in the overlay's merge logic,
+// tombstone annihilation, statistics, or dictionary handling surfaces
+// here as a byte difference.
+func TestLiveQuiescedEquivalence(t *testing.T) {
+	scale := 5
+	if testing.Short() || raceEnabled {
+		scale = 2
+	}
+	all := lubm.Generate(lubm.DefaultConfig(scale))
+	split := len(all) * 4 / 5
+	base, extra := all[:split], all[split:]
+
+	live := sparqluo.Open()
+	if err := live.AddAll(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.EnableLiveUpdates(sparqluo.LiveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic op stream: inserts of the held-out tail interleaved
+	// with deletes of base triples, re-deletes (no-ops), re-inserts of
+	// previously deleted triples, and a mid-stream Flush so part of the
+	// stream compacts through the background path and part stays in the
+	// memtable until the final quiesce.
+	rng := rand.New(rand.NewSource(7))
+	present := make(map[string]bool, len(all))
+	key := func(t rdf.Triple) string { return t.S.String() + "\x00" + t.P.String() + "\x00" + t.O.String() }
+	for _, t := range base {
+		present[key(t)] = true
+	}
+	var inserted []rdf.Triple // every triple ever passed to Insert, in order
+	next := 0
+	var deleted []rdf.Triple
+	for round := 0; next < len(extra) || round < 40; round++ {
+		switch round % 4 {
+		case 0, 2: // insert a batch of new triples
+			n := min(1+rng.Intn(40), len(extra)-next)
+			if n > 0 {
+				batch := extra[next : next+n]
+				next += n
+				if err := live.Insert(batch...); err != nil {
+					t.Fatal(err)
+				}
+				inserted = append(inserted, batch...)
+				for _, tr := range batch {
+					present[key(tr)] = true
+				}
+			}
+		case 1: // delete a batch of base triples (some repeats = no-ops)
+			var batch []rdf.Triple
+			for i := 0; i < 25; i++ {
+				tr := base[rng.Intn(len(base))]
+				batch = append(batch, tr)
+				if present[key(tr)] {
+					deleted = append(deleted, tr)
+				}
+				present[key(tr)] = false
+			}
+			if err := live.Delete(batch...); err != nil {
+				t.Fatal(err)
+			}
+		case 3: // re-insert an earlier victim; occasionally flush
+			if len(deleted) > 0 {
+				tr := deleted[rng.Intn(len(deleted))]
+				if err := live.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+				inserted = append(inserted, tr)
+				present[key(tr)] = true
+			}
+			if round%8 == 3 {
+				if err := live.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := live.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var final []rdf.Triple
+	seen := make(map[string]bool, len(all))
+	for _, tr := range all {
+		if k := key(tr); present[k] && !seen[k] {
+			final = append(final, tr)
+			seen[k] = true
+		}
+	}
+	ref := liveReference(base, inserted, final)
+	if live.NumTriples() != ref.NumTriples() {
+		t.Fatalf("NumTriples = %d, want %d", live.NumTriples(), ref.NumTriples())
+	}
+
+	engines := []sparqluo.Engine{sparqluo.WCO, sparqluo.BinaryJoin}
+	engineNames := []string{"wco", "binary"}
+	strategies := []sparqluo.Strategy{sparqluo.Base, sparqluo.TT, sparqluo.CP, sparqluo.Full}
+	for _, q := range bench.AllQueries() {
+		if q.Dataset != "LUBM" {
+			continue
+		}
+		for ei, engine := range engines {
+			for _, strat := range strategies {
+				base := []sparqluo.Option{
+					sparqluo.WithEngine(engine),
+					sparqluo.WithStrategy(strat),
+				}
+				pars := []int{1, 0}
+				if raceEnabled {
+					pars = pars[1:] // the grid is the plain build's job
+				}
+				want := queryJSON(t, ref, q.Text, base)
+				for _, par := range pars {
+					got := queryJSON(t, live, q.Text, append(base[:2:2], sparqluo.WithParallelism(par)))
+					if !bytes.Equal(want, got) {
+						t.Errorf("%s %s/%v par=%d: live results differ from frozen reference\nfrozen: %.200s\nlive:   %.200s",
+							q.ID, engineNames[ei], strat, par, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLiveQueriesSeeOneEpoch drives queries concurrently with paired
+// writes and background compactions. Each write batch inserts (or
+// deletes) both halves of a subject's pair atomically, so a query that
+// honors snapshot isolation can never observe a subject with its
+// required triple but not its optional one — regardless of whether the
+// view it pinned was pre-memtable, mid-memtable, or mid-swap.
+func TestLiveQueriesSeeOneEpoch(t *testing.T) {
+	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	pair := func(i int) []sparqluo.Triple {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i))
+		return []sparqluo.Triple{
+			{S: s, P: rdf.NewIRI("http://ex/req"), O: rdf.NewIRI(fmt.Sprintf("http://ex/o%d", i))},
+			{S: s, P: rdf.NewIRI("http://ex/opt"), O: rdf.NewIRI(fmt.Sprintf("http://ex/o%d", i))},
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if err := db.Insert(pair(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT ?s ?b WHERE { ?s <http://ex/req> ?x . OPTIONAL { ?s <http://ex/opt> ?b } }`
+	writerDone := make(chan struct{})
+	compactorDone := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: a bounded stream of atomic paired inserts and deletes
+		defer wg.Done()
+		defer close(writerDone)
+		rng := rand.New(rand.NewSource(11))
+		for i := 64; i < 1500; i++ {
+			if err := db.Insert(pair(i)...); err != nil {
+				t.Error(err)
+				return
+			}
+			if victim := rng.Intn(i); victim%3 == 0 {
+				if err := db.Delete(pair(victim)...); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // compactor: keep base swaps happening under the readers
+		defer wg.Done()
+		for {
+			select {
+			case <-compactorDone:
+				return
+			default:
+			}
+			if err := db.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	engines := []sparqluo.Engine{sparqluo.WCO, sparqluo.BinaryJoin}
+	strategies := []sparqluo.Strategy{sparqluo.Base, sparqluo.Full}
+	writing := true
+	for rep := 0; rep < 10 || writing; rep++ {
+		select {
+		case <-writerDone:
+			writing = false
+		default:
+		}
+		for _, engine := range engines {
+			for _, strat := range strategies {
+				res, err := db.Query(q, sparqluo.WithEngine(engine), sparqluo.WithStrategy(strat))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, sol := range res.Solutions() {
+					if _, ok := sol["b"]; !ok {
+						t.Fatalf("rep %d: subject %v visible without its paired triple — query saw a torn batch",
+							rep, sol["s"])
+					}
+				}
+			}
+		}
+	}
+	close(compactorDone)
+	wg.Wait()
+}
+
+// TestLiveSnapshotRoundTrip covers the persistence surface end to end:
+// a compaction-persisted image must reopen (via both OpenSnapshot and
+// the magic-sniffing OpenFile) byte-identical to the quiesced live
+// store, and a Flush whose persist step cannot succeed must fail
+// loudly while the memtable retains every pending write.
+func TestLiveSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "live.img")
+	db := sparqluo.OpenLive(sparqluo.LiveOptions{SnapshotPath: img})
+	all := lubm.Generate(lubm.DefaultConfig(1))
+	for i := 0; i < len(all); i += 500 {
+		if err := db.Insert(all[i:min(i+500, len(all))]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete(all[:100]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := sparqluo.OpenSnapshot(img)
+	if err != nil {
+		t.Fatalf("OpenSnapshot(%s): %v", img, err)
+	}
+	defer snap.Close()
+	sniffed, source, err := sparqluo.OpenFile(img)
+	if err != nil {
+		t.Fatalf("OpenFile(%s): %v", img, err)
+	}
+	defer sniffed.Close()
+	if source != "snapshot" {
+		t.Errorf("OpenFile source = %q, want snapshot", source)
+	}
+	if snap.NumTriples() != db.NumTriples() || sniffed.NumTriples() != db.NumTriples() {
+		t.Fatalf("NumTriples: snapshot=%d sniffed=%d live=%d", snap.NumTriples(), sniffed.NumTriples(), db.NumTriples())
+	}
+	for _, q := range bench.AllQueries() {
+		if q.Dataset != "LUBM" {
+			continue
+		}
+		want := queryJSON(t, db, q.Text, nil)
+		if got := queryJSON(t, snap, q.Text, nil); !bytes.Equal(want, got) {
+			t.Errorf("%s: reopened image differs from live store", q.ID)
+		}
+		if got := queryJSON(t, sniffed, q.Text, nil); !bytes.Equal(want, got) {
+			t.Errorf("%s: OpenFile image differs from live store", q.ID)
+		}
+	}
+
+	// Failure path: the snapshot target's parent is a regular file, so
+	// the atomic writer cannot even create its temp file. The flush must
+	// surface the error and keep serving the pending writes.
+	if err := os.WriteFile(filepath.Join(dir, "notadir"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken := sparqluo.OpenLive(sparqluo.LiveOptions{
+		SnapshotPath: filepath.Join(dir, "notadir", "img"),
+	})
+	if err := broken.Insert(all[:10]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := broken.Flush(); err == nil {
+		t.Fatal("Flush with unwritable snapshot path succeeded, want error")
+	}
+	if broken.NumTriples() != 10 {
+		t.Errorf("after failed flush, live store serves %d triples, want 10", broken.NumTriples())
+	}
+	if stats, ok := broken.LiveStats(); !ok || stats.MemtableOps == 0 {
+		t.Errorf("after failed flush, memtable dropped its writes: %+v", stats)
+	}
+}
+
+// TestLiveWriteSnapshotQuiesces checks DB.WriteSnapshot on a live
+// database: it must flush the memtable first so the image carries every
+// acknowledged write.
+func TestLiveWriteSnapshotQuiesces(t *testing.T) {
+	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	if err := db.Insert(
+		sparqluo.Triple{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/o")},
+		sparqluo.Triple{S: rdf.NewIRI("http://ex/s2"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/o")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	img := filepath.Join(t.TempDir(), "live.img")
+	if err := db.WriteSnapshot(img); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sparqluo.OpenSnapshot(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if snap.NumTriples() != 2 {
+		t.Errorf("image holds %d triples, want 2 (memtable not flushed before persist)", snap.NumTriples())
+	}
+	if stats, _ := db.LiveStats(); stats.MemtableOps != 0 {
+		t.Errorf("WriteSnapshot left %d ops in the memtable", stats.MemtableOps)
+	}
+}
+
+// TestLiveAPIGuards pins the error contract of the live surface: write
+// APIs without live updates report ErrFrozen or ErrNotLive (never a
+// panic), enabling twice fails, and sharded databases refuse the
+// overlay.
+func TestLiveAPIGuards(t *testing.T) {
+	frozen := sparqluo.Open()
+	frozen.Freeze()
+	tr := sparqluo.Triple{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/o")}
+	if err := frozen.Insert(tr); err != sparqluo.ErrNotLive {
+		t.Errorf("Insert on frozen db: err = %v, want ErrNotLive", err)
+	}
+	if err := frozen.Delete(tr); err != sparqluo.ErrNotLive {
+		t.Errorf("Delete on frozen db: err = %v, want ErrNotLive", err)
+	}
+	if err := frozen.Flush(); err != sparqluo.ErrNotLive {
+		t.Errorf("Flush on frozen db: err = %v, want ErrNotLive", err)
+	}
+	if _, err := frozen.StartCompaction(sparqluo.CompactionOptions{}); err != sparqluo.ErrNotLive {
+		t.Errorf("StartCompaction on frozen db: err = %v, want ErrNotLive", err)
+	}
+	if _, ok := frozen.LiveStats(); ok {
+		t.Error("LiveStats on frozen db reported live")
+	}
+
+	if err := frozen.EnableLiveUpdates(sparqluo.LiveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := frozen.EnableLiveUpdates(sparqluo.LiveOptions{}); err == nil {
+		t.Error("EnableLiveUpdates twice succeeded, want error")
+	}
+	if err := frozen.Add(tr); err != nil {
+		t.Errorf("Add on live db should route to the overlay, got %v", err)
+	}
+	if frozen.NumTriples() != 1 {
+		t.Errorf("Add on live db did not land: %d triples", frozen.NumTriples())
+	}
+}

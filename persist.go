@@ -18,6 +18,12 @@ import (
 // after upgrading. See internal/snapshot for the format and its
 // integrity model.
 func (db *DB) WriteSnapshot(path string) error {
+	if db.Live() {
+		// Quiesce first: flush the memtable into the base, then persist
+		// the result. Writes accepted after the flush land in the next
+		// image.
+		return db.writeLiveSnapshot(path)
+	}
 	m := db.mem()
 	if m == nil {
 		return fmt.Errorf("sparqluo: WriteSnapshot on a sharded database (shards are already snapshot images)")

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sparqluo_test
+
+const raceEnabled = false

@@ -22,7 +22,7 @@ import (
 // here as a byte difference.
 func TestSnapshotRoundTripEquivalence(t *testing.T) {
 	lubmScale, dbpScale := 13, 1500
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		lubmScale, dbpScale = 3, 300
 	}
 	fixtures := []struct {

@@ -109,6 +109,20 @@
 // responses are streamed with the zero-allocation WriteJSON encoder —
 // the handler never materializes a []Solution. See the README's
 // "Serving at scale" section for the full picture.
+//
+// # Live updates
+//
+// A database can ingest while serving. EnableLiveUpdates (or OpenLive)
+// layers a mutable delta overlay — a memtable of pending inserts and
+// tombstones — over the frozen base; Insert and Delete are atomic
+// batches, every query is pinned to one epoch of the data (snapshot
+// isolation), and a background compactor (StartCompaction) folds the
+// memtable into a fresh frozen base under an RCU-style pointer swap,
+// optionally persisting it with the atomic snapshot writer. A quiesced
+// live database (after Flush) answers queries byte-identically to a
+// freshly frozen store over the same triples. Over HTTP, POST /update
+// accepts N-Triples insert/delete batches behind the same admission
+// valve as /sparql.
 package sparqluo
 
 import (
@@ -191,30 +205,53 @@ func (db *DB) mem() *store.Store {
 }
 
 // Load reads an N-Triples document (with optional Turtle-style @prefix
-// directives) and adds every triple. Sharded databases are read-only.
+// directives) and adds every triple. On a live database the triples are
+// inserted as one atomic batch; on a frozen or sharded database Load
+// returns an error wrapping ErrFrozen.
 func (db *DB) Load(r io.Reader) error {
+	if db.Live() {
+		_, err := db.InsertNTriples(r)
+		return err
+	}
 	m := db.mem()
 	if m == nil {
-		return fmt.Errorf("sparqluo: Load on a sharded (read-only) database")
+		return fmt.Errorf("sparqluo: Load on a sharded (read-only) database: %w", ErrFrozen)
 	}
 	return m.LoadNTriples(r)
 }
 
 // Add inserts one triple. Duplicates are ignored (RDF set semantics).
-// Add panics on a sharded database, mirroring Add after Freeze.
-func (db *DB) Add(t Triple) {
+// On a live database (EnableLiveUpdates/OpenLive) the write is routed
+// to the overlay memtable and is immediately visible to new queries.
+// Otherwise Add returns an error wrapping ErrFrozen after Freeze or on
+// a sharded database — never a panic, so a serving process can reject
+// stray writes gracefully.
+func (db *DB) Add(t Triple) error {
+	if ls := db.liveStore(); ls != nil {
+		ls.Insert(t)
+		return nil
+	}
 	m := db.mem()
 	if m == nil {
-		panic("sparqluo: Add on a sharded (read-only) database")
+		return fmt.Errorf("sparqluo: Add on a sharded (read-only) database: %w", ErrFrozen)
 	}
-	m.Add(t)
+	return m.Add(t)
 }
 
-// AddAll inserts a batch of triples.
-func (db *DB) AddAll(ts []Triple) {
-	for _, t := range ts {
-		db.Add(t)
+// AddAll inserts a batch of triples, stopping at the first error. On a
+// live database the batch is atomic: concurrent queries see all of it
+// or none of it.
+func (db *DB) AddAll(ts []Triple) error {
+	if ls := db.liveStore(); ls != nil {
+		ls.Insert(ts...)
+		return nil
 	}
+	for _, t := range ts {
+		if err := db.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Freeze computes statistics and makes the database read-only. Queries

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-shard bench-update bench-json snapshot-smoke shard-smoke live-smoke fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-shard bench-update bench-json snapshot-smoke shard-smoke live-smoke wal-smoke fuzz clean
 
 all: vet fmt-check build test
 
@@ -76,8 +76,11 @@ bench-shard:
 
 # Live-update benchmarks: acknowledged write path (single and batched),
 # compaction fold time, and query latency while a writer streams and the
-# background compactor runs. CI runs this with -benchtime=1x as a smoke
-# test; use -benchtime=2s locally for real numbers.
+# background compactor runs. The LiveWAL family adds the journaled write
+# path under every sync policy plus recovery-replay speed (the
+# wal_durability table in BENCH_<n>.json). CI runs this with
+# -benchtime=1x as a smoke test; use -benchtime=2s locally for real
+# numbers.
 bench-update:
 	$(GO) test ./internal/bench -run '^$$' -bench 'Live' -benchtime $(BENCHTIME)
 
@@ -160,12 +163,60 @@ live-smoke:
 	curl -sf http://$$addr/healthz | grep -q 'live: true' || { echo "live-smoke: healthz missing live line"; exit 1; }; \
 	echo "live-smoke: insert, compact, persist and delete all visible through the server"
 
+# End-to-end WAL crash-recovery smoke: serve a generated base with -live
+# and a WAL, ingest triples over HTTP (every one acked durable under
+# sync=always), kill -9 the server, restart it on the same directories,
+# and require every acked triple to be queryable with byte-identical
+# JSON to a never-crashed server that applied the same writes. This is
+# the durability contract, exercised through the real binary and a real
+# SIGKILL.
+wal-smoke:
+	@set -e; tmp=$$(mktemp -d); addr=127.0.0.1:18476; \
+	q='SELECT * WHERE { ?s <http://smoke/p> ?o }'; \
+	$(GO) run ./cmd/datagen -dataset lubm -scale 1 -out $$tmp/g.nt; \
+	$(GO) build -o $$tmp/server ./cmd/sparql-server; \
+	wait_ready() { for i in $$(seq 1 50); do \
+		if curl -sf http://$$addr/healthz >/dev/null 2>&1; then return 0; fi; sleep 0.2; done; \
+		echo "wal-smoke: server did not become ready"; cat $$tmp/server.log; return 1; }; \
+	ingest() { for i in 1 2 3; do \
+		printf '<http://smoke/s%s> <http://smoke/p> <http://smoke/o%s> .\n' $$i $$i | \
+			curl -sf -X POST --data-binary @- "http://$$addr/update?op=insert" | grep -q '"applied":1' || \
+			{ echo "wal-smoke: insert $$i not acked"; return 1; } done; \
+		printf '<http://smoke/s2> <http://smoke/p> <http://smoke/o2> .\n' | \
+			curl -sf -X POST --data-binary @- "http://$$addr/update?op=delete" | grep -q '"applied":1' || \
+			{ echo "wal-smoke: delete not acked"; return 1; } }; \
+	query() { curl -sf -G --data-urlencode "query=$$q" http://$$addr/sparql; }; \
+	$$tmp/server -data $$tmp/g.nt -addr $$addr -live -wal-dir $$tmp/wal -wal-sync always \
+		-compact-snapshot $$tmp/live.img >$$tmp/server.log 2>&1 & pid=$$!; \
+	trap 'kill -9 $$pid 2>/dev/null || true; rm -rf '"$$tmp" EXIT; \
+	wait_ready; ingest; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	$$tmp/server -data $$tmp/g.nt -addr $$addr -live -wal-dir $$tmp/wal -wal-sync always \
+		-compact-snapshot $$tmp/live.img >$$tmp/server.log 2>&1 & pid=$$!; \
+	wait_ready; \
+	grep -Eq 'wal enabled .*replayed [1-9][0-9]* batches' $$tmp/server.log || \
+		{ echo "wal-smoke: server did not replay the journal"; cat $$tmp/server.log; exit 1; }; \
+	query > $$tmp/recovered.json; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	$$tmp/server -data $$tmp/g.nt -addr $$addr -live >$$tmp/server.log 2>&1 & pid=$$!; \
+	wait_ready; ingest; \
+	query > $$tmp/reference.json; \
+	if ! cmp -s $$tmp/recovered.json $$tmp/reference.json; then \
+		echo "wal-smoke: recovered results differ from never-crashed server:"; \
+		diff $$tmp/recovered.json $$tmp/reference.json | head -20; exit 1; fi; \
+	grep -q 'http://smoke/o1' $$tmp/recovered.json || { echo "wal-smoke: acked triple lost"; exit 1; }; \
+	grep -q 'http://smoke/o3' $$tmp/recovered.json || { echo "wal-smoke: acked triple lost"; exit 1; }; \
+	if grep -q 'http://smoke/o2' $$tmp/recovered.json; then \
+		echo "wal-smoke: acked delete resurrected"; exit 1; fi; \
+	echo "wal-smoke: all acked writes survived kill -9, byte-identical to a never-crashed server"
+
 # Short fuzz smoke for every fuzz target; CI runs this with FUZZTIME=10s.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sparql/
 	$(GO) test -run '^$$' -fuzz FuzzNTriples -fuzztime $(FUZZTIME) ./internal/rdf/
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotLoad -fuzztime $(FUZZTIME) ./internal/snapshot/
 	$(GO) test -run '^$$' -fuzz FuzzManifest -fuzztime $(FUZZTIME) ./internal/snapshot/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/wal/
 
 clean:
 	$(GO) clean -testcache

@@ -27,6 +27,7 @@ import (
 	"sparqluo/internal/core"
 	"sparqluo/internal/sparql"
 	"sparqluo/internal/store"
+	"sparqluo/internal/wal"
 )
 
 // Micro is one micro-benchmark record.
@@ -86,12 +87,35 @@ type UpdateRow struct {
 	SwapPauseMs float64 `json:"swap_pause_ms"`
 }
 
+// WALRow is one run of the wal_durability workload: acknowledged write
+// throughput and per-batch ack latency with the write-ahead journal
+// attached under one sync policy, plus recovery-replay speed for the
+// log the run produced (normalized per 100k triples). The delta between
+// the always and never rows is the fsync tax group commit has to pay;
+// the delta between never and the live_update table is the journal's
+// framing overhead.
+type WALRow struct {
+	Sync          string  `json:"sync"`
+	Batch         int     `json:"batch"`
+	Batches       int     `json:"batches"`
+	Triples       int     `json:"triples"`
+	IngestRate    float64 `json:"ingest_triples_per_s"`
+	WriteP50Ms    float64 `json:"write_p50_ms"`
+	WriteP99Ms    float64 `json:"write_p99_ms"`
+	WriteMaxMs    float64 `json:"write_max_ms"`
+	Syncs         uint64  `json:"fsyncs"`
+	WALBytes      int64   `json:"wal_bytes"`
+	ReplaySeconds float64 `json:"replay_s"`
+	ReplayPer100k float64 `json:"replay_s_per_100k"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	Micro    []Micro       `json:"microbench"`
 	Workload []WorkloadRow `json:"workload"`
 	Shard    []ShardRow    `json:"shard_scaling"`
 	Update   []UpdateRow   `json:"live_update"`
+	WAL      []WALRow      `json:"wal_durability"`
 	NumCPU   int           `json:"num_cpu"`
 }
 
@@ -120,6 +144,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Update = u
+	wd, err := walDurability(*reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.WAL = wd
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -361,6 +391,40 @@ func liveUpdate(reps int) ([]UpdateRow, error) {
 		CompactMs:   ms(best.CompactTime),
 		SwapPauseMs: ms(best.SwapPause),
 	}}, nil
+}
+
+// walDurability runs the journaled-ingest workload under every sync
+// policy, keeping the best-rate run per policy (latency percentiles
+// come from the same run).
+func walDurability(reps int) ([]WALRow, error) {
+	var rows []WALRow
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNever} {
+		var best bench.WALResult
+		for rep := 0; rep < reps; rep++ {
+			r, err := bench.RunWALDurability(policy, 5, 256)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || r.IngestRate > best.IngestRate {
+				best = r
+			}
+		}
+		rows = append(rows, WALRow{
+			Sync:          best.Sync,
+			Batch:         best.Batch,
+			Batches:       best.Batches,
+			Triples:       best.Triples,
+			IngestRate:    best.IngestRate,
+			WriteP50Ms:    ms(best.WriteP50),
+			WriteP99Ms:    ms(best.WriteP99),
+			WriteMaxMs:    ms(best.WriteMax),
+			Syncs:         best.Syncs,
+			WALBytes:      best.WALBytes,
+			ReplaySeconds: best.ReplaySeconds,
+			ReplayPer100k: best.ReplayPer100k,
+		})
+	}
+	return rows, nil
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

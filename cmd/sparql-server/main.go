@@ -34,7 +34,20 @@
 // compacted base atomically to the given path (a crash mid-compaction
 // leaves the previous image intact); POST /compact forces a compaction.
 // A sharded data file cannot be served live (write routing across
-// shards is not implemented).
+// shards is not implemented); the server refuses to start rather than
+// silently dropping -live.
+//
+// -wal-dir adds a write-ahead log under -live: every accepted update is
+// journaled before it is acknowledged, and on startup the server
+// replays whatever the log holds — so a crash (even kill -9) loses no
+// acknowledged write. -wal-sync picks the durability level: always
+// (default; group-committed fsync before each ack, survives power
+// loss), interval (background fsync every -wal-flush-interval), or
+// never (page cache only — still survives a process crash, not an
+// outage). With -compact-snapshot also set, restarts boot from the
+// newest compacted image and replay only the tail of the log;
+// compactions retire the journal segments their snapshot makes
+// redundant, so the log stays short.
 package main
 
 import (
@@ -60,6 +73,9 @@ func main() {
 		compactInterval  = flag.Duration("compact-interval", 30*time.Second, "max time the memtable stays dirty before a background compaction")
 		compactThreshold = flag.Int("compact-threshold", 10000, "pending ops that trigger an immediate background compaction")
 		compactSnapshot  = flag.String("compact-snapshot", "", "persist each compacted base to this snapshot path (atomic)")
+		walDir           = flag.String("wal-dir", "", "write-ahead log directory: journal every update before acking, replay it at startup (requires -live)")
+		walSync          = flag.String("wal-sync", "always", "WAL durability policy: always (group-committed fsync per batch), interval, or never")
+		walFlushEvery    = flag.Duration("wal-flush-interval", 100*time.Millisecond, "background fsync period under -wal-sync=interval")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -69,12 +85,36 @@ func main() {
 	log.SetPrefix("sparql-server: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	db, source, err := openData(*dataPath)
+	syncPolicy, err := sparqluo.ParseWALSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *walDir != "" && !*live {
+		log.Fatal("-wal-dir requires -live (a read-only server takes no writes to journal)")
+	}
+
+	// Crash recovery prefers the newest durable state: when a compaction
+	// snapshot from a previous run exists, boot from it (the WAL then
+	// replays only the batches it does not hold) instead of re-parsing
+	// the original data file.
+	bootPath := *dataPath
+	if *live && *compactSnapshot != "" {
+		if _, statErr := os.Stat(*compactSnapshot); statErr == nil {
+			bootPath = *compactSnapshot
+			log.Printf("recovering from compaction snapshot %s (ignoring -data %s)", bootPath, *dataPath)
+		}
+	}
+	db, source, err := openData(bootPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *live {
-		if err := db.EnableLiveUpdates(sparqluo.LiveOptions{SnapshotPath: *compactSnapshot}); err != nil {
+		if err := db.EnableLiveUpdates(sparqluo.LiveOptions{
+			SnapshotPath:     *compactSnapshot,
+			WALDir:           *walDir,
+			WALSync:          syncPolicy,
+			WALFlushInterval: *walFlushEvery,
+		}); err != nil {
 			log.Fatal(err)
 		}
 		stop, err := db.StartCompaction(sparqluo.CompactionOptions{
@@ -88,6 +128,11 @@ func main() {
 		defer stop()
 		log.Printf("live updates enabled (compact-interval=%v compact-threshold=%d snapshot=%q)",
 			*compactInterval, *compactThreshold, *compactSnapshot)
+		if *walDir != "" {
+			rec, _ := db.Recovery()
+			log.Printf("wal enabled (dir=%s sync=%s): replayed %d batches (%d inserts, %d deletes), truncated %d torn-tail bytes",
+				*walDir, syncPolicy, rec.Batches, rec.Inserted, rec.Deleted, rec.TruncatedBytes)
+		}
 	}
 
 	handler := sparqluo.NewHandler(db,

@@ -284,6 +284,17 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 			if !ls.LastCompaction.IsZero() {
 				fmt.Fprintf(w, "last-compaction: %s\nlast-compaction-took: %v\nlast-compaction-merged: %d\n",
 					ls.LastCompaction.UTC().Format(time.RFC3339), ls.LastCompactionTook, ls.LastCompactionMerged)
+				fmt.Fprintf(w, "since-last-compaction: %v\n", ls.SinceLastCompaction.Round(time.Millisecond))
+			}
+			if js := ls.WAL; js != nil {
+				fmt.Fprintf(w, "wal-segments: %d\nwal-bytes: %d\nwal-appended: %d\nwal-syncs: %d\n",
+					js.Segments, js.Bytes, js.Appended, js.Syncs)
+				if !js.LastSync.IsZero() {
+					fmt.Fprintf(w, "wal-last-sync-age: %v\n", time.Since(js.LastSync).Round(time.Millisecond))
+				}
+				if js.Replayed > 0 || js.TruncatedBytes > 0 {
+					fmt.Fprintf(w, "wal-replayed: %d\nwal-truncated-bytes: %d\n", js.Replayed, js.TruncatedBytes)
+				}
 			}
 		}
 	})
@@ -303,6 +314,15 @@ func NewHandler(db *DB, opts ...HandlerOption) http.Handler {
 		if ls, ok := db.LiveStats(); ok {
 			fmt.Fprintf(w, "live: true\ncompaction-in-progress: %v\nmemtable-triples: %d\ntombstones: %d\n",
 				ls.Compacting, ls.MemtableAdds, ls.Tombstones)
+			if !ls.LastCompaction.IsZero() {
+				fmt.Fprintf(w, "since-last-compaction: %v\n", ls.SinceLastCompaction.Round(time.Millisecond))
+			}
+			if js := ls.WAL; js != nil {
+				fmt.Fprintf(w, "wal-segments: %d\nwal-bytes: %d\n", js.Segments, js.Bytes)
+				if !js.LastSync.IsZero() {
+					fmt.Fprintf(w, "wal-last-sync-age: %v\n", time.Since(js.LastSync).Round(time.Millisecond))
+				}
+			}
 		}
 	})
 	return mux

@@ -427,7 +427,10 @@ func TestHTTPClientCancelNoResponse(t *testing.T) {
 // compaction through POST /compact, and the overlay lines /stats and
 // /healthz gain on a live database.
 func TestHTTPLiveUpdateEndpoint(t *testing.T) {
-	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	db, err := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(sparqluo.NewHandler(db))
 	defer srv.Close()
 
@@ -551,7 +554,10 @@ func TestHTTPUpdateRequiresLive(t *testing.T) {
 // an update introduced <http://ex.org/new> would keep answering empty.
 // The write must start a fresh cache generation.
 func TestHTTPPlanCacheLiveInvalidation(t *testing.T) {
-	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	db, err := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(sparqluo.NewHandler(db, sparqluo.WithPlanCache(8)))
 	defer srv.Close()
 

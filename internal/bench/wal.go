@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"os"
+	"sort"
+	"time"
+
+	"sparqluo/internal/lubm"
+	"sparqluo/internal/overlay"
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/wal"
+)
+
+// WALResult is one run of the wal_durability workload: acknowledged
+// write throughput and per-batch ack latency with a journal attached
+// under one sync policy, plus how long recovery takes to replay the log
+// the run produced. The sync=always row is the headline durability tax
+// (every ack waits on a group-committed fsync); never is the journal's
+// framing overhead alone; interval sits between. ReplayPer100k makes
+// recovery time comparable across runs of different sizes.
+type WALResult struct {
+	Sync    string // always | interval | never
+	Batch   int    // triples per Insert call
+	Batches int    // write calls issued (all acked)
+	Triples int    // triples acked through them
+
+	IngestSeconds float64
+	IngestRate    float64 // acked triples per second
+
+	WriteP50 time.Duration // per-batch ack latency (journal append + commit + memtable)
+	WriteP99 time.Duration
+	WriteMax time.Duration
+
+	Syncs    uint64 // fsyncs the log issued (group commit coalesces)
+	WALBytes int64  // bytes the run left in the log
+
+	ReplaySeconds float64 // full recovery replay of that log into a fresh overlay
+	ReplayPer100k float64 // seconds of replay per 100k triples
+}
+
+// benchJournal wires a *wal.Log into the overlay exactly the way the
+// public API does, so the measured path is the production one.
+type benchJournal struct{ log *wal.Log }
+
+func (j benchJournal) Append(del bool, ts []rdf.Triple) (uint64, error) {
+	kind := wal.Insert
+	if del {
+		kind = wal.Delete
+	}
+	return j.log.Append(kind, ts)
+}
+
+func (j benchJournal) Commit(seq uint64) error         { return j.log.Sync(seq) }
+func (j benchJournal) Checkpoint() (uint64, error)     { return j.log.Cut() }
+func (j benchJournal) Retire(mark uint64) (int, error) { return j.log.Retire(mark) }
+
+func (j benchJournal) Stats() overlay.JournalStats {
+	s := j.log.Stats()
+	return overlay.JournalStats{Segments: s.Segments, Bytes: s.Bytes, Appended: s.Appended,
+		Syncs: s.Syncs, LastSync: s.LastSync, LastBatch: s.LastBatch,
+		Replayed: s.Replayed, TruncatedBytes: s.TruncatedBytes}
+}
+
+// RunWALDurability streams universities' worth of LUBM triples into an
+// empty live overlay journaled under the given sync policy, recording
+// the ack latency of every batch, then times a full recovery replay of
+// the log it wrote. The log lives in a fresh temp directory that is
+// removed before returning.
+func RunWALDurability(policy wal.SyncPolicy, universities, batch int) (WALResult, error) {
+	dir, err := os.MkdirTemp("", "sparqluo-walbench-*")
+	if err != nil {
+		return WALResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	log, err := wal.Open(dir, wal.Options{Sync: policy})
+	if err != nil {
+		return WALResult{}, err
+	}
+	ls := overlay.New(nil, overlay.Options{})
+	ls.SetJournal(benchJournal{log})
+
+	stream := lubm.Generate(lubm.DefaultConfig(universities))
+	res := WALResult{Sync: policy.String(), Batch: batch}
+
+	lats := make([]time.Duration, 0, len(stream)/batch+1)
+	ingestStart := time.Now()
+	for off := 0; off < len(stream); off += batch {
+		b := stream[off:min(off+batch, len(stream))]
+		t0 := time.Now()
+		if err := ls.Insert(b...); err != nil {
+			log.Close()
+			return WALResult{}, err
+		}
+		lats = append(lats, time.Since(t0))
+		res.Batches++
+		res.Triples += len(b)
+	}
+	ingestDur := time.Since(ingestStart)
+
+	st := log.Stats()
+	res.Syncs = st.Syncs
+	res.WALBytes = st.Bytes
+	if err := log.Close(); err != nil {
+		return WALResult{}, err
+	}
+
+	res.IngestSeconds = ingestDur.Seconds()
+	if s := ingestDur.Seconds(); s > 0 {
+		res.IngestRate = float64(res.Triples) / s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		res.WriteP50 = lats[n/2]
+		res.WriteP99 = lats[n*99/100]
+		res.WriteMax = lats[n-1]
+	}
+
+	// Recovery replay: reopen the log and stream every record into a
+	// fresh overlay, the exact path OpenLive takes after a crash.
+	replayStart := time.Now()
+	rlog, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		return WALResult{}, err
+	}
+	fresh := overlay.New(nil, overlay.Options{})
+	err = rlog.Replay(func(r wal.Record) error {
+		if r.Kind == wal.Delete {
+			return fresh.Delete(r.Triples...)
+		}
+		return fresh.Insert(r.Triples...)
+	})
+	rlog.Close()
+	if err != nil {
+		return WALResult{}, err
+	}
+	res.ReplaySeconds = time.Since(replayStart).Seconds()
+	if res.Triples > 0 {
+		res.ReplayPer100k = res.ReplaySeconds * 100_000 / float64(res.Triples)
+	}
+	return res, nil
+}

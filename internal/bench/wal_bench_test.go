@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"testing"
+
+	"sparqluo/internal/overlay"
+	"sparqluo/internal/rdf"
+	"sparqluo/internal/wal"
+)
+
+// walOverlay builds an empty live overlay journaled into a fresh WAL
+// under the given policy, production wiring end to end.
+func walOverlay(b *testing.B, policy wal.SyncPolicy) *overlay.LiveStore {
+	b.Helper()
+	log, err := wal.Open(b.TempDir(), wal.Options{Sync: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { log.Close() })
+	ls := overlay.New(nil, overlay.Options{})
+	ls.SetJournal(benchJournal{log})
+	return ls
+}
+
+func liveWALInsert(b *testing.B, policy wal.SyncPolicy) {
+	ls := walOverlay(b, policy)
+	batch := make([]rdf.Triple, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = synthTriple(i*64 + j)
+		}
+		if err := ls.Insert(batch...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "triples/s")
+}
+
+// BenchmarkLiveWALInsertSyncAlways is the durable write path: every
+// 64-triple batch is framed, appended and group-commit fsynced before
+// the ack. Compare with BenchmarkLiveInsertBatch64 (no journal) for the
+// full durability tax, and with the never variant for the fsync share
+// of it.
+func BenchmarkLiveWALInsertSyncAlways(b *testing.B) { liveWALInsert(b, wal.SyncAlways) }
+
+// BenchmarkLiveWALInsertSyncInterval acks after the append; a
+// background flusher fsyncs every 100ms.
+func BenchmarkLiveWALInsertSyncInterval(b *testing.B) { liveWALInsert(b, wal.SyncInterval) }
+
+// BenchmarkLiveWALInsertSyncNever isolates the journal's framing and
+// write-syscall overhead with no fsync anywhere.
+func BenchmarkLiveWALInsertSyncNever(b *testing.B) { liveWALInsert(b, wal.SyncNever) }
+
+// BenchmarkLiveWALReplay measures crash-recovery speed: how fast a log
+// of 64-triple insert batches streams back into a fresh overlay.
+// b.N counts replayed triples.
+func BenchmarkLiveWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]rdf.Triple, 64)
+	written := 0
+	for written < b.N {
+		for j := range batch {
+			batch[j] = synthTriple(written + j)
+		}
+		if _, err := log.Append(wal.Insert, batch); err != nil {
+			b.Fatal(err)
+		}
+		written += len(batch)
+	}
+	if err := log.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	rlog, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rlog.Close()
+	ls := overlay.New(nil, overlay.Options{})
+	n := 0
+	if err := rlog.Replay(func(r wal.Record) error {
+		n += len(r.Triples)
+		return ls.Insert(r.Triples...)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if n < b.N {
+		b.Fatalf("replayed %d triples, wrote %d", n, written)
+	}
+}

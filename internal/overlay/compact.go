@@ -15,6 +15,11 @@ type CompactionStats struct {
 	Dels      int           // tombstones annihilated against the base
 	Took      time.Duration // end-to-end, including the optional persist
 	Persisted bool          // a snapshot image was written
+	// WALRetired is how many journal segments this compaction retired
+	// after its image was durably persisted (0 without a journal, and
+	// 0 when no image was written — unpersisted folds leave every
+	// segment in place, because recovery would still need them).
+	WALRetired int
 }
 
 // Compact freezes the memtable into the base: it claims the pending
@@ -39,6 +44,19 @@ func (ls *LiveStore) Compact() (CompactionStats, error) {
 	if len(ls.active) == 0 && len(ls.imm) == 0 {
 		ls.mu.Unlock()
 		return CompactionStats{}, nil
+	}
+	// Cut the journal inside the same critical section that claims the
+	// ops: appends are journaled under this mutex, so every batch in
+	// the claim sits in a segment below the mark and every later batch
+	// at or above it. A failed cut aborts the compaction before
+	// anything is claimed — nothing to roll back.
+	var mark uint64
+	if ls.journal != nil {
+		var err error
+		if mark, err = ls.journal.Checkpoint(); err != nil {
+			ls.mu.Unlock()
+			return CompactionStats{}, fmt.Errorf("overlay: wal checkpoint: %w", err)
+		}
 	}
 	// Claim the pending ops. imm is always empty here (compactions are
 	// serialized and both exits below clear it), so this is a move.
@@ -106,6 +124,21 @@ func (ls *LiveStore) Compact() (CompactionStats, error) {
 	ls.lastCompactMerged = stats.Merged
 	ls.seq.Add(1)
 	ls.mu.Unlock()
+
+	// Retire journal segments only once their contents live in a durable
+	// image. Without a persisted snapshot the fold is memory-only and a
+	// crash would still need every segment to rebuild it. A retire
+	// failure after the swap is reported but non-fatal: the compaction
+	// already applied, and leftover segments merely replay idempotently
+	// (duplicate inserts are absorbed, deletes of absent triples skip).
+	if ls.journal != nil && stats.Persisted {
+		n, err := ls.journal.Retire(mark)
+		stats.WALRetired = n
+		if err != nil {
+			stats.Took = time.Since(start)
+			return stats, fmt.Errorf("overlay: wal retire (compaction applied): %w", err)
+		}
+	}
 
 	stats.Took = time.Since(start)
 	return stats, nil

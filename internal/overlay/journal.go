@@ -1,0 +1,51 @@
+package overlay
+
+import (
+	"time"
+
+	"sparqluo/internal/rdf"
+)
+
+// Journal is the write-ahead durability hook a LiveStore writes
+// through. When one is attached (SetJournal), every Insert/Delete batch
+// is appended to the journal before it lands in the memtable and
+// committed (made durable per the journal's sync policy) before the
+// write call returns — the batch is never acknowledged undurable. The
+// compactor brackets its fold with Checkpoint/Retire so the journal
+// only ever holds the batches the newest persisted base image does not.
+//
+// sparqluo wires *wal.Log in through a thin adapter; tests inject fakes
+// and fault injectors. Implementations must be safe for concurrent use.
+// Append is called with the LiveStore's write mutex held (that is what
+// orders appends against Checkpoint); Commit is called outside it so a
+// slow fsync never blocks other writers or readers.
+type Journal interface {
+	// Append frames one write batch (del selects tombstones) and
+	// returns its sequence number.
+	Append(del bool, ts []rdf.Triple) (seq uint64, err error)
+	// Commit blocks until the batch is durable per the journal's
+	// policy (a group-committed fsync under sync=always; a no-op
+	// under interval/never).
+	Commit(seq uint64) error
+	// Checkpoint establishes a retirement mark: batches appended
+	// before it are the ones a now-starting compaction will fold.
+	Checkpoint() (mark uint64, err error)
+	// Retire drops everything before the mark, once the fold is
+	// durably persisted. Returns how many segments were removed.
+	Retire(mark uint64) (int, error)
+	// Stats reports the journal's current shape for /stats//healthz.
+	Stats() JournalStats
+}
+
+// JournalStats mirrors wal.Stats for reporting through LiveStats
+// without the overlay depending on the wal package.
+type JournalStats struct {
+	Segments       int       // live segment files
+	Bytes          int64     // bytes across them
+	Appended       uint64    // batches appended since open
+	Syncs          uint64    // fsyncs issued since open
+	LastSync       time.Time // completion of the last fsync
+	LastBatch      uint64    // most recently appended batch ID
+	Replayed       int       // batches recovered at open
+	TruncatedBytes int64     // torn-tail bytes discarded at open
+}

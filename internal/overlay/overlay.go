@@ -32,6 +32,7 @@
 package overlay
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,12 @@ type Options struct {
 type LiveStore struct {
 	dict *store.Dict
 	opts Options
+
+	// journal, when non-nil, is the write-ahead durability hook: every
+	// batch is appended (under mu, so the compactor's Checkpoint
+	// linearizes against writes) and committed before the write call
+	// returns. Set once during startup via SetJournal.
+	journal Journal
 
 	mu     sync.Mutex   // guards base/imm/active and the compaction bookkeeping
 	base   *store.Store // frozen; replaced (never mutated) by compaction
@@ -109,13 +116,25 @@ func New(base *store.Store, opts Options) *LiveStore {
 	return ls
 }
 
+// SetJournal attaches the write-ahead durability hook: from now on
+// every Insert/Delete batch is journaled before it is applied and
+// committed before it is acknowledged. Call it during startup — after
+// replaying any surviving journal records through Insert/Delete, and
+// before the store is shared with other goroutines; the field itself is
+// not synchronized.
+func (ls *LiveStore) SetJournal(j Journal) { ls.journal = j }
+
 // Insert adds the given triples as one atomic batch: a concurrent query
 // sees either none or all of them. Duplicates of existing triples are
 // absorbed (RDF set semantics); an insert also cancels any pending
-// tombstone for the same triple.
-func (ls *LiveStore) Insert(ts ...rdf.Triple) {
+// tombstone for the same triple. With a journal attached, a nil return
+// means the batch is durable per the journal's sync policy; on error
+// the batch was not applied (journal append failed) or was applied but
+// not confirmed durable (commit failed — a retry is safe either way,
+// set semantics make replays idempotent).
+func (ls *LiveStore) Insert(ts ...rdf.Triple) error {
 	if len(ts) == 0 {
-		return
+		return nil
 	}
 	ops := make([]op, len(ts))
 	for i, t := range ts {
@@ -125,19 +144,19 @@ func (ls *LiveStore) Insert(ts ...rdf.Triple) {
 			O: ls.dict.Encode(t.O),
 		}}
 	}
-	ls.mu.Lock()
-	ls.active = append(ls.active, ops...)
-	ls.seq.Add(1)
-	ls.mu.Unlock()
+	return ls.apply(false, ts, ops)
 }
 
 // Delete removes the given triples as one atomic batch, by appending
 // tombstones to the memtable. Deleting an absent triple is a no-op; a
 // triple with any term the dictionary has never seen cannot exist and
-// is skipped without growing the dictionary.
-func (ls *LiveStore) Delete(ts ...rdf.Triple) {
+// is skipped without growing the dictionary. The full requested batch
+// is journaled (not just the surviving tombstones): recovery replays it
+// against a base that may differ from today's memtable, where a
+// tombstone skipped now could be the one that matters.
+func (ls *LiveStore) Delete(ts ...rdf.Triple) error {
 	if len(ts) == 0 {
-		return
+		return nil
 	}
 	ops := make([]op, 0, len(ts))
 	for _, t := range ts {
@@ -155,13 +174,41 @@ func (ls *LiveStore) Delete(ts ...rdf.Triple) {
 		}
 		ops = append(ops, op{t: store.EncTriple{S: s, P: p, O: o}, del: true})
 	}
-	if len(ops) == 0 {
-		return
+	if len(ops) == 0 && ls.journal == nil {
+		return nil
 	}
+	return ls.apply(true, ts, ops)
+}
+
+// apply journals (if a journal is attached) and applies one write
+// batch. The journal append happens inside the write mutex — the same
+// critical section that admits the ops into the memtable — so the
+// compactor's Checkpoint, which runs under the same mutex, cleanly
+// partitions journal records into "claimed by this fold" and "after
+// it". The commit (fsync wait) runs outside the mutex: a slow disk
+// stalls only the writers waiting on durability, never readers.
+func (ls *LiveStore) apply(del bool, ts []rdf.Triple, ops []op) error {
 	ls.mu.Lock()
-	ls.active = append(ls.active, ops...)
-	ls.seq.Add(1)
+	var seq uint64
+	if ls.journal != nil {
+		var err error
+		seq, err = ls.journal.Append(del, ts)
+		if err != nil {
+			ls.mu.Unlock()
+			return fmt.Errorf("overlay: journal append: %w", err)
+		}
+	}
+	if len(ops) > 0 {
+		ls.active = append(ls.active, ops...)
+		ls.seq.Add(1)
+	}
 	ls.mu.Unlock()
+	if ls.journal != nil {
+		if err := ls.journal.Commit(seq); err != nil {
+			return fmt.Errorf("overlay: journal commit: %w", err)
+		}
+	}
+	return nil
 }
 
 // Epoch returns the current write epoch. It advances on every write
@@ -232,6 +279,18 @@ type LiveStats struct {
 	LastCompaction       time.Time     // completion time of the last compaction
 	LastCompactionTook   time.Duration // duration of the last compaction
 	LastCompactionMerged int           // triples in the base it produced
+
+	// SinceLastCompaction is the age of the last successful compaction
+	// at the moment LiveStats was taken (zero if none has completed) —
+	// the number an operator alerts on to catch a stuck compactor
+	// before the memtable (and, with a WAL, the segment set) grows
+	// without bound.
+	SinceLastCompaction time.Duration
+
+	// WAL reports the attached write-ahead journal, nil when the store
+	// runs without one (writes then die with the process between
+	// compactions).
+	WAL *JournalStats
 }
 
 // LiveStats returns the current overlay statistics. It resolves the
@@ -252,7 +311,14 @@ func (ls *LiveStore) LiveStats() LiveStats {
 		LastCompactionTook:   ls.lastCompactTook,
 		LastCompactionMerged: ls.lastCompactMerged,
 	}
+	if !ls.lastCompact.IsZero() {
+		st.SinceLastCompaction = time.Since(ls.lastCompact)
+	}
 	ls.mu.Unlock()
+	if ls.journal != nil {
+		js := ls.journal.Stats()
+		st.WAL = &js
+	}
 	return st
 }
 

@@ -147,6 +147,15 @@ func WriteFile(path string, st *store.Store) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Make the rename itself durable: without a directory fsync the
+	// new name can vanish on power loss even though the data pages are
+	// on the platter. The WAL retires its segments the moment this
+	// function returns, so the image must actually exist after a crash.
+	// Best effort on platforms that cannot fsync a directory.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sparqluo/internal/rdf"
 	"sparqluo/internal/snapshot"
 	"sparqluo/internal/store"
+	"sparqluo/internal/wal"
 )
 
 // ErrFrozen is returned by write APIs (Add, AddAll, Load) on a frozen
@@ -19,17 +20,44 @@ import (
 var ErrFrozen = store.ErrFrozen
 
 // ErrNotLive is returned by live-only APIs (Insert, Delete, Flush,
-// StartCompaction) on a database without live updates enabled.
+// StartCompaction) on a database without live updates enabled, and
+// wrapped by EnableLiveUpdates when the database cannot be made live
+// (sharded databases have no single store to layer the overlay over).
 var ErrNotLive = errors.New("sparqluo: database is not live (call EnableLiveUpdates or OpenLive)")
 
 // LiveStats is a point-in-time picture of the live-update overlay:
-// memtable and tombstone counts, the write epoch, and compaction
-// bookkeeping. Reported by DB.LiveStats and the /stats and /healthz
-// endpoints.
+// memtable and tombstone counts, the write epoch, compaction
+// bookkeeping, and (with a WAL attached) the journal's shape. Reported
+// by DB.LiveStats and the /stats and /healthz endpoints.
 type LiveStats = overlay.LiveStats
+
+// WALStats is the journal slice of LiveStats: segment count and bytes,
+// append/sync counters, and what recovery found at open.
+type WALStats = overlay.JournalStats
 
 // CompactionStats describes one completed compaction.
 type CompactionStats = overlay.CompactionStats
+
+// WALSyncPolicy selects when acknowledged write batches are fsynced;
+// see the wal package for the exact durability contract of each level.
+type WALSyncPolicy = wal.SyncPolicy
+
+const (
+	// WALSyncAlways fsyncs (group-committed) before a write returns:
+	// an acknowledged batch survives power loss. The default.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval fsyncs on a background timer: bounded loss window
+	// under power failure, none under a bare process crash.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncNever leaves flushing to the OS.
+	WALSyncNever = wal.SyncNever
+)
+
+// ParseWALSyncPolicy parses "always", "interval" or "never" (flag and
+// config syntax; "" means always).
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) {
+	return wal.ParseSyncPolicy(s)
+}
 
 // LiveOptions configures live updates on a database.
 type LiveOptions struct {
@@ -40,6 +68,32 @@ type LiveOptions struct {
 	// the old on-disk image serving; the pending writes stay in the
 	// memtable for a later retry.
 	SnapshotPath string
+
+	// WALDir, if non-empty, attaches a write-ahead log in that
+	// directory: every Insert/Delete batch is journaled before it is
+	// acknowledged, opening the database replays whatever the log holds
+	// (crash recovery), and compactions retire journal segments once
+	// their batches live in a durably persisted image. Pair it with
+	// SnapshotPath — the snapshot bounds replay time, the log closes
+	// the durability window between compactions.
+	WALDir string
+	// WALSync is the journal's durability policy (default WALSyncAlways).
+	WALSync WALSyncPolicy
+	// WALFlushInterval is the background fsync period under
+	// WALSyncInterval (default 100ms; ignored otherwise).
+	WALFlushInterval time.Duration
+	// WALSegmentBytes rotates journal segments at this size
+	// (default 64 MiB).
+	WALSegmentBytes int64
+}
+
+// RecoveryStats reports what the WAL replay recovered when the database
+// was opened, via DB.Recovery.
+type RecoveryStats struct {
+	Batches        int   // journal records replayed
+	Inserted       int   // triples in replayed insert batches
+	Deleted        int   // triples in replayed delete batches
+	TruncatedBytes int64 // torn-tail bytes discarded (the unacknowledged write in flight at the crash)
 }
 
 // CompactionOptions configures the background compactor started by
@@ -56,11 +110,20 @@ type CompactionOptions struct {
 	OnError func(error)
 }
 
-// OpenLive returns an empty live database: Insert/Delete work
-// immediately, queries may run concurrently with writes, and a
-// background compactor can fold the memtable into the frozen base.
-func OpenLive(opts LiveOptions) *DB {
-	return &DB{st: overlay.New(nil, overlay.Options{SnapshotPath: opts.SnapshotPath})}
+// OpenLive returns a live database: Insert/Delete work immediately,
+// queries may run concurrently with writes, and a background compactor
+// can fold the memtable into the frozen base. With opts.WALDir set it
+// is also the crash-recovery entry point: surviving journal batches are
+// replayed into the memtable before the database is returned (inspect
+// DB.Recovery for what came back), and every subsequent write is
+// journaled before it is acknowledged.
+func OpenLive(opts LiveOptions) (*DB, error) {
+	ls := overlay.New(nil, overlay.Options{SnapshotPath: opts.SnapshotPath})
+	db := &DB{st: ls}
+	if err := db.attachWAL(ls, opts); err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // EnableLiveUpdates layers the mutable delta overlay over the
@@ -68,23 +131,108 @@ func OpenLive(opts LiveOptions) *DB {
 // read-only database into a live one: subsequent Insert/Delete calls
 // land in a memtable that queries see merged with the frozen base,
 // snapshot-isolated per query. The database is frozen first if it is
-// not already.
+// not already. With opts.WALDir set, surviving journal batches are
+// replayed on top of the base before the call returns.
 //
 // Call it during startup, before the database is shared with other
 // goroutines: the store swap itself is not synchronized. Sharded
 // databases are not supported (shard-aware write routing is an open
-// roadmap slice).
+// roadmap slice); the returned error wraps ErrNotLive so callers can
+// fail fast with errors.Is.
 func (db *DB) EnableLiveUpdates(opts LiveOptions) error {
 	if db.Live() {
 		return fmt.Errorf("sparqluo: live updates already enabled")
 	}
 	m := db.mem()
 	if m == nil {
-		return fmt.Errorf("sparqluo: live updates on a sharded database are not supported")
+		return fmt.Errorf("sparqluo: live updates on a sharded database are not supported: %w", ErrNotLive)
 	}
 	m.Freeze()
-	db.st = overlay.New(m, overlay.Options{SnapshotPath: opts.SnapshotPath})
+	ls := overlay.New(m, overlay.Options{SnapshotPath: opts.SnapshotPath})
+	if err := db.attachWAL(ls, opts); err != nil {
+		return err
+	}
+	db.st = ls
 	return nil
+}
+
+// attachWAL opens the journal named by opts.WALDir (a no-op when
+// unset), replays its surviving batches into ls, and wires it in as the
+// overlay's durability hook. Replay happens before SetJournal, so
+// recovered batches are not re-journaled — they already live in the
+// segments that carried them here, and the next persisted compaction
+// retires them.
+func (db *DB) attachWAL(ls *overlay.LiveStore, opts LiveOptions) error {
+	if opts.WALDir == "" {
+		return nil
+	}
+	wlog, err := wal.Open(opts.WALDir, wal.Options{
+		Sync:         opts.WALSync,
+		Interval:     opts.WALFlushInterval,
+		SegmentBytes: opts.WALSegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	var rec RecoveryStats
+	err = wlog.Replay(func(r wal.Record) error {
+		rec.Batches++
+		switch r.Kind {
+		case wal.Insert:
+			rec.Inserted += len(r.Triples)
+			return ls.Insert(r.Triples...)
+		default:
+			rec.Deleted += len(r.Triples)
+			return ls.Delete(r.Triples...)
+		}
+	})
+	if err != nil {
+		wlog.Close()
+		return fmt.Errorf("sparqluo: wal replay: %w", err)
+	}
+	rec.TruncatedBytes = wlog.Stats().TruncatedBytes
+	ls.SetJournal(walJournal{wlog})
+	db.wal = wlog
+	db.recovery = &rec
+	return nil
+}
+
+// Recovery reports what the WAL replay recovered when this database was
+// opened; ok is false when no WAL is attached.
+func (db *DB) Recovery() (rec RecoveryStats, ok bool) {
+	if db.recovery == nil {
+		return RecoveryStats{}, false
+	}
+	return *db.recovery, true
+}
+
+// walJournal adapts *wal.Log to the overlay's Journal hook.
+type walJournal struct{ log *wal.Log }
+
+func (j walJournal) Append(del bool, ts []rdf.Triple) (uint64, error) {
+	kind := wal.Insert
+	if del {
+		kind = wal.Delete
+	}
+	return j.log.Append(kind, ts)
+}
+
+func (j walJournal) Commit(seq uint64) error         { return j.log.Sync(seq) }
+func (j walJournal) Checkpoint() (uint64, error)     { return j.log.Cut() }
+func (j walJournal) Retire(mark uint64) (int, error) { return j.log.Retire(mark) }
+
+func (j walJournal) Stats() overlay.JournalStats {
+	s := j.log.Stats()
+	return overlay.JournalStats{
+		Segments:       s.Segments,
+		Bytes:          s.Bytes,
+		Appended:       s.Appended,
+		Syncs:          s.Syncs,
+		LastSync:       s.LastSync,
+		LastBatch:      s.LastBatch,
+		Replayed:       s.Replayed,
+		TruncatedBytes: s.TruncatedBytes,
+	}
 }
 
 // Live reports whether live updates are enabled.
@@ -99,27 +247,27 @@ func (db *DB) liveStore() *overlay.LiveStore {
 // Insert adds the given triples as one atomic batch: a query running
 // concurrently sees either none or all of them (snapshot isolation by
 // epoch). Inserting a triple that already exists is a no-op (RDF set
-// semantics). Requires live updates.
+// semantics). With a WAL attached, a nil return means the batch is
+// durable per the configured sync policy. Requires live updates.
 func (db *DB) Insert(ts ...Triple) error {
 	ls := db.liveStore()
 	if ls == nil {
 		return ErrNotLive
 	}
-	ls.Insert(ts...)
-	return nil
+	return ls.Insert(ts...)
 }
 
 // Delete removes the given triples as one atomic batch, by writing
 // tombstones that hide the targets immediately and annihilate them at
-// the next compaction. Deleting an absent triple is a no-op. Requires
-// live updates.
+// the next compaction. Deleting an absent triple is a no-op. With a WAL
+// attached, a nil return means the batch is durable per the configured
+// sync policy. Requires live updates.
 func (db *DB) Delete(ts ...Triple) error {
 	ls := db.liveStore()
 	if ls == nil {
 		return ErrNotLive
 	}
-	ls.Delete(ts...)
-	return nil
+	return ls.Delete(ts...)
 }
 
 // InsertNTriples decodes an N-Triples document (with optional
@@ -135,7 +283,9 @@ func (db *DB) InsertNTriples(r io.Reader) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	ls.Insert(ts...)
+	if err := ls.Insert(ts...); err != nil {
+		return 0, err
+	}
 	return len(ts), nil
 }
 
@@ -150,7 +300,9 @@ func (db *DB) DeleteNTriples(r io.Reader) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	ls.Delete(ts...)
+	if err := ls.Delete(ts...); err != nil {
+		return 0, err
+	}
 	return len(ts), nil
 }
 
@@ -184,8 +336,8 @@ func (db *DB) Flush() error {
 
 // Compact is Flush with the compaction's statistics: how many triples
 // the new base holds, how many net inserts and tombstones were folded
-// in, how long it took, and whether an image was persisted. Requires
-// live updates.
+// in, how long it took, whether an image was persisted, and how many
+// WAL segments the persist let it retire. Requires live updates.
 func (db *DB) Compact() (CompactionStats, error) {
 	ls := db.liveStore()
 	if ls == nil {

@@ -180,7 +180,10 @@ func TestLiveQuiescedEquivalence(t *testing.T) {
 // required triple but not its optional one — regardless of whether the
 // view it pinned was pre-memtable, mid-memtable, or mid-swap.
 func TestLiveQueriesSeeOneEpoch(t *testing.T) {
-	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	db, err := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	pair := func(i int) []sparqluo.Triple {
 		s := rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i))
 		return []sparqluo.Triple{
@@ -270,7 +273,10 @@ func TestLiveQueriesSeeOneEpoch(t *testing.T) {
 func TestLiveSnapshotRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	img := filepath.Join(dir, "live.img")
-	db := sparqluo.OpenLive(sparqluo.LiveOptions{SnapshotPath: img})
+	db, err := sparqluo.OpenLive(sparqluo.LiveOptions{SnapshotPath: img})
+	if err != nil {
+		t.Fatal(err)
+	}
 	all := lubm.Generate(lubm.DefaultConfig(1))
 	for i := 0; i < len(all); i += 500 {
 		if err := db.Insert(all[i:min(i+500, len(all))]...); err != nil {
@@ -319,9 +325,12 @@ func TestLiveSnapshotRoundTrip(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "notadir"), []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	broken := sparqluo.OpenLive(sparqluo.LiveOptions{
+	broken, err := sparqluo.OpenLive(sparqluo.LiveOptions{
 		SnapshotPath: filepath.Join(dir, "notadir", "img"),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := broken.Insert(all[:10]...); err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +349,10 @@ func TestLiveSnapshotRoundTrip(t *testing.T) {
 // database: it must flush the memtable first so the image carries every
 // acknowledged write.
 func TestLiveWriteSnapshotQuiesces(t *testing.T) {
-	db := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	db, err := sparqluo.OpenLive(sparqluo.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := db.Insert(
 		sparqluo.Triple{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/o")},
 		sparqluo.Triple{S: rdf.NewIRI("http://ex/s2"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/o")},

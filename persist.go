@@ -138,13 +138,20 @@ func OpenFile(path string) (db *DB, source string, err error) {
 	return db, "ntriples", nil
 }
 
-// Close releases any file mappings backing the database. It is a no-op
+// Close releases any file mappings backing the database and, if a
+// write-ahead log is attached, fsyncs and closes it. It is a no-op
 // (and nil error) for databases built in memory with Open. After Close,
 // the database — and any Results obtained from it — must not be used.
 func (db *DB) Close() error {
 	ms := db.mappings
 	db.mappings = nil
 	var first error
+	if w := db.wal; w != nil {
+		db.wal = nil
+		if err := w.Close(); err != nil {
+			first = err
+		}
+	}
 	for _, m := range ms {
 		if err := m.Close(); err != nil && first == nil {
 			first = err

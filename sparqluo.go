@@ -136,6 +136,7 @@ import (
 	"sparqluo/internal/rdf"
 	"sparqluo/internal/snapshot"
 	"sparqluo/internal/store"
+	"sparqluo/internal/wal"
 )
 
 // Term is an RDF term (IRI, literal or blank node).
@@ -192,6 +193,12 @@ type DB struct {
 	// mappings back snapshot-opened databases (see OpenSnapshot,
 	// OpenShards, Close); empty for in-memory ones.
 	mappings []*snapshot.Mapping
+
+	// wal is the write-ahead log attached by OpenLive/EnableLiveUpdates
+	// when LiveOptions.WALDir is set; nil otherwise. Closed by Close.
+	wal *wal.Log
+	// recovery records what the WAL replay recovered at open, if any.
+	recovery *RecoveryStats
 }
 
 // Open returns an empty database.
@@ -228,8 +235,7 @@ func (db *DB) Load(r io.Reader) error {
 // stray writes gracefully.
 func (db *DB) Add(t Triple) error {
 	if ls := db.liveStore(); ls != nil {
-		ls.Insert(t)
-		return nil
+		return ls.Insert(t)
 	}
 	m := db.mem()
 	if m == nil {
@@ -243,8 +249,7 @@ func (db *DB) Add(t Triple) error {
 // or none of it.
 func (db *DB) AddAll(ts []Triple) error {
 	if ls := db.liveStore(); ls != nil {
-		ls.Insert(ts...)
-		return nil
+		return ls.Insert(ts...)
 	}
 	for _, t := range ts {
 		if err := db.Add(t); err != nil {

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-shard bench-update bench-json snapshot-smoke shard-smoke live-smoke wal-smoke fuzz clean
+.PHONY: all build vet fmt-check test race bench bench-store bench-coldstart bench-serve bench-join bench-topk bench-shard bench-update bench-compact bench-json snapshot-smoke shard-smoke live-smoke wal-smoke fuzz clean
 
 all: vet fmt-check build test
 
@@ -83,6 +83,15 @@ bench-shard:
 # numbers.
 bench-update:
 	$(GO) test ./internal/bench -run '^$$' -bench 'Live' -benchtime $(BENCHTIME)
+
+# Compaction fold comparison: the pre-fold full re-sort rebuild vs the
+# linear merge fold (store.MergeFold) over the same base and delta.
+# The compaction_fold table in BENCH_<n>.json extends this across
+# several base:delta ratios with byte-identity cross-checking. CI runs
+# this with -benchtime=1x as a smoke test; use -benchtime=2s locally
+# for real numbers.
+bench-compact:
+	$(GO) test ./internal/bench -run '^$$' -bench 'CompactionFold' -benchtime $(BENCHTIME)
 
 # Machine-readable bench table: join micro-benchmarks + the Fig10 query
 # workload as JSON, committed per PR (BENCH_<n>.json) so the perf

@@ -1,9 +1,11 @@
 // Command benchjson emits the PR perf-tracking table as machine-readable
 // JSON: the join micro-benchmarks (merge vs hash vs sort+merge physical
 // operators), the Fig10 query workload (both engines, all strategies,
-// both datasets), shard scaling, and the live-ingest workload (write
-// rate with a concurrent reader, read latency under ingest, compaction
-// cost). The output file is committed per PR (BENCH_5.json,
+// both datasets), shard scaling, the live-ingest workload (write rate
+// with a concurrent reader, read latency under ingest, compaction
+// cost), and the compaction-fold comparison (full re-sort rebuild vs
+// linear merge at several base:delta ratios). The output file is
+// committed per PR (BENCH_5.json,
 // BENCH_6.json, ...) so the perf trajectory of the hot paths is
 // diffable across the repo's history:
 //
@@ -55,8 +57,9 @@ type WorkloadRow struct {
 // workload through a range-partitioned sharded store with the parallel
 // evaluator. k=1 exercises the sharded code path with a single shard,
 // so its delta against the workload table is the wrapper's overhead.
-// The scatter pool holds min(k, GOMAXPROCS)-1 workers, so the k>1
-// speedup column only moves on hosts with spare cores.
+// Scatter sizes its worker pool off GOMAXPROCS at call time (fully
+// inline on a single processor), so the k>1 speedup column only moves
+// on hosts with spare cores.
 type ShardRow struct {
 	Query    string  `json:"query"`
 	Dataset  string  `json:"dataset"`
@@ -109,12 +112,29 @@ type WALRow struct {
 	ReplayPer100k float64 `json:"replay_s_per_100k"`
 }
 
+// FoldRow is one base:delta ratio of the compaction-fold comparison:
+// the same delta folded into the same frozen base by the pre-fold
+// full rebuild (tombstone hash filter + append + FromTriples re-sort
+// of everything) versus the linear merge fold (store.MergeFold). The
+// two outputs are verified byte-identical before either time is
+// reported, so speedup_x is a pure algorithmic delta.
+type FoldRow struct {
+	BaseTriples int     `json:"base_triples"`
+	Adds        int     `json:"adds"`
+	Dels        int     `json:"dels"`
+	Ratio       int     `json:"base_to_delta_ratio"`
+	ResortMs    float64 `json:"resort_ms"`
+	MergeMs     float64 `json:"merge_ms"`
+	SpeedupX    float64 `json:"speedup_x"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	Micro    []Micro       `json:"microbench"`
 	Workload []WorkloadRow `json:"workload"`
 	Shard    []ShardRow    `json:"shard_scaling"`
 	Update   []UpdateRow   `json:"live_update"`
+	Fold     []FoldRow     `json:"compaction_fold"`
 	WAL      []WALRow      `json:"wal_durability"`
 	NumCPU   int           `json:"num_cpu"`
 }
@@ -144,6 +164,12 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Update = u
+	f, err := compactionFold(*reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Fold = f
 	wd, err := walDurability(*reps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -391,6 +417,31 @@ func liveUpdate(reps int) ([]UpdateRow, error) {
 		CompactMs:   ms(best.CompactTime),
 		SwapPauseMs: ms(best.SwapPause),
 	}}, nil
+}
+
+// compactionFold times the compaction fold (full re-sort rebuild vs
+// linear merge) at several base:delta ratios — 4:1 is a memtable let
+// grow to a quarter of the base, 256:1 a frequent small fold; the
+// merge advantage should widen with the ratio because only the delta
+// is ever sorted.
+func compactionFold(reps int) ([]FoldRow, error) {
+	results, err := bench.RunCompactionFold(8, []int{4, 16, 64, 256}, reps)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FoldRow, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, FoldRow{
+			BaseTriples: r.BaseTriples,
+			Adds:        r.Adds,
+			Dels:        r.Dels,
+			Ratio:       r.Ratio,
+			ResortMs:    ms(r.Resort),
+			MergeMs:     ms(r.Merge),
+			SpeedupX:    r.Speedup,
+		})
+	}
+	return rows, nil
 }
 
 // walDurability runs the journaled-ingest workload under every sync

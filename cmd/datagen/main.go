@@ -84,7 +84,10 @@ func main() {
 	if *snapPath != "" || *memStats {
 		st := store.New()
 		st.AddAll(triples)
-		st.Freeze()
+		if err := st.Freeze(); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
 		if *memStats {
 			fmt.Fprintf(os.Stderr, "datagen: store %s\n", st.MemStats())
 		}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"sparqluo/internal/lubm"
+	"sparqluo/internal/store"
+)
+
+// FoldResult is one base:delta ratio of the compaction-fold comparison:
+// folding the same delta into the same frozen base by full rebuild
+// (tombstone hash filter + append + FromTriples sort of everything)
+// versus by linear merge (store.MergeFold). Both paths produce
+// byte-identical stores — cross-checked per run — so the durations are
+// directly comparable.
+type FoldResult struct {
+	BaseTriples int
+	Adds        int
+	Dels        int
+	Ratio       int // base triples per delta op, rounded
+
+	Resort  time.Duration // filter + append + full FromTriples re-sort
+	Merge   time.Duration // store.MergeFold linear fold
+	Speedup float64       // Resort / Merge
+}
+
+// RunCompactionFold measures the compaction fold at several base:delta
+// ratios over one frozen LUBM base of baseUniversities. Per ratio the
+// delta is half inserts (held-out LUBM triples, pre-encoded so
+// dictionary growth happens before the timed region — exactly as in
+// the live overlay, where Insert encodes at acknowledge time) and half
+// tombstones of evenly spaced base triples. Each path is timed reps
+// times and the minimum kept; outputs are verified byte-identical on
+// every rep, so a fold that diverged from the rebuild can never report
+// a time.
+func RunCompactionFold(baseUniversities int, ratios []int, reps int) ([]FoldResult, error) {
+	all := lubm.Generate(lubm.DefaultConfig(baseUniversities))
+	cut := len(all) * 4 / 5
+	base := store.New()
+	if err := base.AddAll(all[:cut]); err != nil {
+		return nil, err
+	}
+	if err := base.Freeze(); err != nil {
+		return nil, err
+	}
+	d := base.Dict()
+	heldOut := make([]store.EncTriple, 0, len(all)-cut)
+	for _, t := range all[cut:] {
+		heldOut = append(heldOut, store.EncTriple{S: d.Encode(t.S), P: d.Encode(t.P), O: d.Encode(t.O)})
+	}
+	baseTris := base.Triples()
+
+	var results []FoldResult
+	for _, ratio := range ratios {
+		delta := len(baseTris) / ratio
+		if delta < 2 {
+			delta = 2
+		}
+		nAdds := min(delta/2, len(heldOut))
+		nDels := delta - nAdds
+		adds := heldOut[:nAdds]
+		dels := make([]store.EncTriple, 0, nDels)
+		for i := 0; i < nDels; i++ {
+			dels = append(dels, baseTris[i*len(baseTris)/nDels])
+		}
+
+		res := FoldResult{
+			BaseTriples: len(baseTris),
+			Adds:        len(adds),
+			Dels:        len(dels),
+			Ratio:       ratio,
+		}
+		for rep := 0; rep < reps; rep++ {
+			// Resort path: the pre-merge-fold compactor — hash-set
+			// tombstone filter over a copy of the base, append the adds,
+			// full sort+compact+permute rebuild of the flattened slice.
+			t0 := time.Now()
+			dead := make(map[store.EncTriple]struct{}, len(dels))
+			for _, t := range dels {
+				dead[t] = struct{}{}
+			}
+			merged := make([]store.EncTriple, 0, len(baseTris)+len(adds))
+			for _, t := range baseTris {
+				if _, ok := dead[t]; !ok {
+					merged = append(merged, t)
+				}
+			}
+			merged = append(merged, adds...)
+			rebuilt, err := store.FromTriples(d, merged, true)
+			if err != nil {
+				return nil, err
+			}
+			resort := time.Since(t0)
+
+			t0 = time.Now()
+			folded, err := store.MergeFold(base, adds, dels, true)
+			if err != nil {
+				return nil, err
+			}
+			merge := time.Since(t0)
+
+			if err := foldIdentical(folded, rebuilt); err != nil {
+				return nil, fmt.Errorf("ratio %d rep %d: %w", ratio, rep, err)
+			}
+			if rep == 0 || resort < res.Resort {
+				res.Resort = resort
+			}
+			if rep == 0 || merge < res.Merge {
+				res.Merge = merge
+			}
+		}
+		if res.Merge > 0 {
+			res.Speedup = float64(res.Resort) / float64(res.Merge)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// foldIdentical asserts two stores expose byte-identical columnar
+// layouts — all three permutations, row pointers, trailing columns and
+// the POS level-2 runs.
+func foldIdentical(a, b *store.Store) error {
+	la, lb := a.Layout(), b.Layout()
+	perms := []struct {
+		name string
+		a, b store.PermLayout
+	}{{"spo", la.SPO, lb.SPO}, {"pos", la.POS, lb.POS}, {"osp", la.OSP, lb.OSP}}
+	for _, p := range perms {
+		if !slices.Equal(p.a.Tri, p.b.Tri) || !slices.Equal(p.a.Off, p.b.Off) || !slices.Equal(p.a.Col, p.b.Col) {
+			return fmt.Errorf("merge fold %s permutation diverges from rebuild", p.name)
+		}
+	}
+	if !slices.Equal(la.PosObjKeys, lb.PosObjKeys) ||
+		!slices.Equal(la.PosObjOff, lb.PosObjOff) ||
+		!slices.Equal(la.PosObjIdx, lb.PosObjIdx) {
+		return fmt.Errorf("merge fold POS level-2 runs diverge from rebuild")
+	}
+	return nil
+}

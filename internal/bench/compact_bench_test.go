@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"sparqluo/internal/store"
+)
+
+// foldFixture pre-encodes one base + delta pair shared by the two
+// compaction-fold benchmarks so both time identical work: a frozen
+// LUBM base, adds drawn from a held-out tail, tombstones of evenly
+// spaced base triples (delta ≈ base/16).
+type foldFixtureT struct {
+	base       *store.Store
+	adds, dels []store.EncTriple
+}
+
+func foldFixture(b *testing.B) foldFixtureT {
+	b.Helper()
+	st := liveBase(b, 4)
+	d := st.Dict()
+	tris := st.Triples()
+	delta := len(tris) / 16
+	adds := make([]store.EncTriple, 0, delta/2)
+	for i := 0; i < delta/2; i++ {
+		t := synthTriple(i)
+		adds = append(adds, store.EncTriple{S: d.Encode(t.S), P: d.Encode(t.P), O: d.Encode(t.O)})
+	}
+	dels := make([]store.EncTriple, 0, delta/2)
+	for i := 0; i < delta/2; i++ {
+		dels = append(dels, tris[i*len(tris)/(delta/2)])
+	}
+	return foldFixtureT{base: st, adds: adds, dels: dels}
+}
+
+// BenchmarkCompactionFoldResort is the pre-merge-fold compactor: hash
+// tombstone filter, append, full FromTriples re-sort of base+delta.
+func BenchmarkCompactionFoldResort(b *testing.B) {
+	f := foldFixture(b)
+	tris := f.base.Triples()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dead := make(map[store.EncTriple]struct{}, len(f.dels))
+		for _, t := range f.dels {
+			dead[t] = struct{}{}
+		}
+		merged := make([]store.EncTriple, 0, len(tris)+len(f.adds))
+		for _, t := range tris {
+			if _, ok := dead[t]; !ok {
+				merged = append(merged, t)
+			}
+		}
+		merged = append(merged, f.adds...)
+		if _, err := store.FromTriples(f.base.Dict(), merged, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompactionFoldMerge is the linear merge fold over the same
+// base and delta. Compare ns/op directly against the Resort variant.
+func BenchmarkCompactionFoldMerge(b *testing.B) {
+	f := foldFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.MergeFold(f.base, f.adds, f.dels, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,17 +24,19 @@ type CompactionStats struct {
 
 // Compact freezes the memtable into the base: it claims the pending
 // ops, resolves them (tombstones annihilate their targets), folds the
-// survivors into a fresh frozen base via the store's sort+compact
-// path, optionally persists the new base with the atomic snapshot
+// survivors into a fresh frozen base with store.MergeFold — a linear
+// merge of each of the base's already-sorted permutations with the
+// sorted delta, so fold cost is O(base + delta) with no re-sort of the
+// base — optionally persists the new base with the atomic snapshot
 // writer, and swaps it in. Writes accepted while the compaction runs
 // land in a new memtable generation and are never stalled; readers are
 // paused only for the pointer swap (RCU-style — in-flight queries
 // finish on the view they pinned).
 //
-// If the persist fails, the compaction is rolled back: the claimed ops
-// return to the memtable, the old base keeps serving, and the old
-// on-disk image is untouched (the writer renames last). Compactions
-// are serialized; a concurrent Compact blocks.
+// If the fold or the persist fails, the compaction is rolled back: the
+// claimed ops return to the memtable, the old base keeps serving, and
+// the old on-disk image is untouched (the writer renames last).
+// Compactions are serialized; a concurrent Compact blocks.
 func (ls *LiveStore) Compact() (CompactionStats, error) {
 	ls.compactMu.Lock()
 	defer ls.compactMu.Unlock()
@@ -72,41 +74,35 @@ func (ls *LiveStore) Compact() (CompactionStats, error) {
 	adds, dels := resolve(base, ops)
 	stats := CompactionStats{Adds: len(adds), Dels: len(dels)}
 
+	// rollback returns the claimed ops to the memtable in front of
+	// anything accepted since, so nothing is lost and a later
+	// compaction retries them. The epoch bump is not required for
+	// correctness (the visible triple set is unchanged) but keeps the
+	// epoch a strict ledger of state transitions.
+	rollback := func() {
+		ls.mu.Lock()
+		restored := make([]op, 0, len(ops)+len(ls.active))
+		restored = append(append(restored, ops...), ls.active...)
+		ls.active = restored
+		ls.imm = nil
+		ls.seq.Add(1)
+		ls.mu.Unlock()
+	}
+
 	nb := base
 	if len(adds) > 0 || len(dels) > 0 {
-		merged := make([]store.EncTriple, 0, base.NumTriples()-len(dels)+len(adds))
-		if len(dels) == 0 {
-			merged = append(merged, base.Triples()...)
-		} else {
-			dead := make(map[store.EncTriple]struct{}, len(dels))
-			for _, t := range dels {
-				dead[t] = struct{}{}
-			}
-			for _, t := range base.Triples() {
-				if _, ok := dead[t]; !ok {
-					merged = append(merged, t)
-				}
-			}
+		var err error
+		if nb, err = store.MergeFold(base, adds, dels, true); err != nil {
+			rollback()
+			stats.Took = time.Since(start)
+			return stats, fmt.Errorf("overlay: compaction fold: %w", err)
 		}
-		merged = append(merged, adds...)
-		nb = store.FromTriples(ls.dict, merged, true)
 	}
 	stats.Merged = nb.NumTriples()
 
 	if ls.opts.SnapshotPath != "" && nb != base {
 		if err := ls.writeSnapshot(ls.opts.SnapshotPath, nb); err != nil {
-			// Roll back: the claimed ops go back in front of anything
-			// accepted since, so nothing is lost and a later compaction
-			// retries them. The epoch bump is not required for
-			// correctness (the visible triple set is unchanged) but
-			// keeps the epoch a strict ledger of state transitions.
-			ls.mu.Lock()
-			restored := make([]op, 0, len(ops)+len(ls.active))
-			restored = append(append(restored, ops...), ls.active...)
-			ls.active = restored
-			ls.imm = nil
-			ls.seq.Add(1)
-			ls.mu.Unlock()
+			rollback()
 			stats.Took = time.Since(start)
 			return stats, fmt.Errorf("overlay: compaction persist: %w", err)
 		}

@@ -24,11 +24,13 @@
 // query never observes a partial batch — snapshot isolation by
 // construction. Compaction resolves the memtable against the base
 // (tombstones annihilate their targets), folds the survivors into a
-// fresh frozen base with the existing sort+compact path, optionally
-// persists it with the atomic snapshot writer, and swaps the base
-// pointer under the mutex — an RCU-style swap: in-flight queries finish
-// on the old image, and the only reader-visible pause is the pointer
-// swap itself.
+// fresh frozen base with the store's linear merge fold (store.MergeFold
+// merges each already-sorted base permutation with the sorted delta in
+// one pass — fold cost is O(base + delta), never a re-sort of the
+// base), optionally persists it with the atomic snapshot writer, and
+// swaps the base pointer under the mutex — an RCU-style swap: in-flight
+// queries finish on the old image, and the only reader-visible pause is
+// the pointer swap itself.
 package overlay
 
 import (

@@ -45,7 +45,10 @@ func checkEquiv(t *testing.T, ls *LiveStore, model map[string]rdf.Triple) {
 		}
 		exp = append(exp, store.EncTriple{S: s, P: p, O: o})
 	}
-	ref := store.FromTriples(d, exp, false)
+	ref, err := store.FromTriples(d, exp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	v := ls.View()
 
 	if v.NumTriples() != ref.NumTriples() {

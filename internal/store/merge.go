@@ -1,0 +1,126 @@
+package store
+
+import (
+	"math"
+	"slices"
+)
+
+// MergeFold builds a frozen store holding (base − dels) ∪ adds without
+// re-sorting the base: each of the three permutations is produced by a
+// linear merge of the base's own already-sorted permutation with the
+// delta (sorted per permutation order — the only sorting done, over the
+// delta alone), annihilating tombstones by comparison during the merge
+// instead of through a hash set. Row pointers, trailing columns and the
+// POS level-2 runs are rebuilt by a linear index pass over each merged
+// run, and the Freeze statistics are recomputed off the merged arrays —
+// O(n+m) per permutation for an n-triple base and m-op delta, with no
+// intermediate flattened slice and no copy of base.Triples().
+//
+// The semantics match a full FromTriples rebuild of the flattened
+// (base − dels) ∪ adds slice exactly, including the edge cases:
+// duplicate adds collapse, an add of a triple already in base is
+// absorbed, a tombstone of an absent triple is a no-op, and a triple
+// both tombstoned and added survives (the add wins). The output is
+// byte-identical to that rebuild — same permutation arrays, row
+// pointers, level-2 runs and statistics.
+//
+// The three permutation merges run concurrently on a worker group sized
+// off GOMAXPROCS at call time (inline on a single processor, identical
+// output either way). The result shares base's dictionary and is frozen
+// by construction; base itself is never mutated. An oversized result
+// returns ErrTooManyTriples.
+func MergeFold(base *Store, adds, dels []EncTriple, withStats bool) (*Store, error) {
+	base.ensure()
+	if int64(len(base.spo.tri))+int64(len(adds)) > math.MaxInt32 {
+		return nil, ErrTooManyTriples
+	}
+	maxID := base.dict.Len()
+	st := &Store{dict: base.dict, built: true, frozen: true}
+	runParallel(
+		func() {
+			tri := mergeDelta(base.spo.tri, adds, dels, cmpSPO)
+			st.spo = makePerm(tri, maxID,
+				func(t EncTriple) ID { return t.S },
+				func(t EncTriple) ID { return t.O })
+		},
+		func() {
+			tri := mergeDelta(base.pos.tri, adds, dels, cmpPOS)
+			st.pos = makePerm(tri, maxID,
+				func(t EncTriple) ID { return t.P },
+				func(t EncTriple) ID { return t.S })
+			st.posObjKeys, st.posObjOff, st.posObjIdx = buildPOSRuns(tri, maxID)
+		},
+		func() {
+			tri := mergeDelta(base.osp.tri, adds, dels, cmpOSP)
+			st.osp = makePerm(tri, maxID,
+				func(t EncTriple) ID { return t.O },
+				func(t EncTriple) ID { return t.P })
+		},
+	)
+	if withStats {
+		st.stats = computeStats(st)
+	}
+	return st, nil
+}
+
+// mergeDelta linearly merges a sorted duplicate-free base run with a
+// delta under the given total order, returning (base − dels) ∪ adds in
+// that order. adds and dels arrive unsorted (compaction resolves them
+// out of a map); they are copied and sorted here — m log m over the
+// delta only, never over the base. Three fingers walk base, adds and
+// dels in lockstep: a base triple equal to the front tombstone is
+// dropped, an add is always emitted (a consecutive-duplicate check
+// collapses duplicate adds and adds already present in base), and a
+// triple both tombstoned and re-added survives because the add side
+// emits it regardless of the tombstone finger.
+func mergeDelta(base, adds, dels []EncTriple, cmp func(a, b EncTriple) int) []EncTriple {
+	if len(adds) > 0 {
+		adds = append([]EncTriple(nil), adds...)
+		slices.SortFunc(adds, cmp)
+	}
+	if len(dels) > 0 {
+		dels = append([]EncTriple(nil), dels...)
+		slices.SortFunc(dels, cmp)
+	}
+	out := make([]EncTriple, 0, len(base)+len(adds))
+	emit := func(t EncTriple) {
+		if n := len(out); n > 0 && out[n-1] == t {
+			return
+		}
+		out = append(out, t)
+	}
+	b, a, d := 0, 0, 0
+	for b < len(base) || a < len(adds) {
+		takeAdd := b >= len(base)
+		if !takeAdd && a < len(adds) {
+			switch c := cmp(adds[a], base[b]); {
+			case c < 0:
+				takeAdd = true
+			case c == 0:
+				// Present on both sides: the add re-asserts the triple,
+				// overriding any tombstone; consume both fingers.
+				emit(adds[a])
+				a++
+				b++
+				continue
+			}
+		}
+		if takeAdd {
+			emit(adds[a])
+			a++
+			continue
+		}
+		t := base[b]
+		b++
+		for d < len(dels) && cmp(dels[d], t) < 0 {
+			d++
+		}
+		if d < len(dels) && dels[d] == t {
+			continue // annihilated by its tombstone
+		}
+		emit(t)
+	}
+	// Duplicate adds and no-op tombstones leave spare capacity; the run
+	// lives for the store's lifetime.
+	return slices.Clip(out)
+}

@@ -1,0 +1,236 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// foldCase is one randomized MergeFold input over a frozen base:
+// adds with duplicates and triples already present, dels with
+// tombstones of absent triples, and triples on both sides at once.
+type foldCase struct {
+	base       *Store
+	adds, dels []EncTriple
+}
+
+func randFoldCase(rng *rand.Rand) foldCase {
+	st := New()
+	st.AddAll(randTriples(rng, 120+rng.Intn(80)))
+	if err := st.Freeze(); err != nil {
+		panic(err)
+	}
+	d := st.Dict()
+	tris := st.Triples()
+
+	randEnc := func() EncTriple {
+		// Terms from the base's universe plus a few fresh ones, so adds
+		// grow the shared dictionary exactly as live inserts do.
+		term := func(prefix string) ID {
+			return d.Encode(tri(prefix+itoa(rng.Intn(14)), "", "").S)
+		}
+		return EncTriple{S: term("ns"), P: term("np"), O: term("no")}
+	}
+	var adds, dels []EncTriple
+	for i, n := 0, rng.Intn(30); i < n; i++ {
+		t := randEnc()
+		adds = append(adds, t)
+		if rng.Intn(3) == 0 {
+			adds = append(adds, t) // duplicate add
+		}
+	}
+	for i, n := 0, rng.Intn(20); i < n && len(tris) > 0; i++ {
+		adds = append(adds, tris[rng.Intn(len(tris))]) // add already in base
+	}
+	for i, n := 0, rng.Intn(25); i < n && len(tris) > 0; i++ {
+		t := tris[rng.Intn(len(tris))]
+		dels = append(dels, t)
+		if rng.Intn(4) == 0 {
+			dels = append(dels, t) // duplicate tombstone
+		}
+	}
+	for i, n := 0, rng.Intn(15); i < n; i++ {
+		dels = append(dels, randEnc()) // tombstone of a (likely) absent triple
+	}
+	if len(adds) > 0 && rng.Intn(2) == 0 {
+		dels = append(dels, adds[rng.Intn(len(adds))]) // tombstoned AND added
+	}
+	return foldCase{base: st, adds: adds, dels: dels}
+}
+
+// rebuildReference folds the delta the pre-merge way: filter the base
+// triples through a tombstone set, append the adds, and run the full
+// FromTriples sort+compact rebuild.
+func rebuildReference(t *testing.T, c foldCase) *Store {
+	t.Helper()
+	dead := make(map[EncTriple]struct{}, len(c.dels))
+	for _, d := range c.dels {
+		dead[d] = struct{}{}
+	}
+	merged := make([]EncTriple, 0, c.base.NumTriples()+len(c.adds))
+	for _, tr := range c.base.Triples() {
+		if _, ok := dead[tr]; !ok {
+			merged = append(merged, tr)
+		}
+	}
+	merged = append(merged, c.adds...)
+	ref, err := FromTriples(c.base.Dict(), merged, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// requireIdentical asserts every array of the two stores' layouts —
+// all three permutations with row pointers and trailing columns, the
+// POS level-2 runs — and the Freeze statistics are byte-identical.
+func requireIdentical(t *testing.T, got, want *Store) bool {
+	t.Helper()
+	g, w := got.Layout(), want.Layout()
+	permEq := func(name string, a, b PermLayout) bool {
+		if !slices.Equal(a.Tri, b.Tri) {
+			t.Logf("%s triples diverge", name)
+			return false
+		}
+		if !slices.Equal(a.Off, b.Off) {
+			t.Logf("%s row pointers diverge", name)
+			return false
+		}
+		if !slices.Equal(a.Col, b.Col) {
+			t.Logf("%s trailing column diverges", name)
+			return false
+		}
+		return true
+	}
+	if !permEq("spo", g.SPO, w.SPO) || !permEq("pos", g.POS, w.POS) || !permEq("osp", g.OSP, w.OSP) {
+		return false
+	}
+	if !slices.Equal(g.PosObjKeys, w.PosObjKeys) ||
+		!slices.Equal(g.PosObjOff, w.PosObjOff) ||
+		!slices.Equal(g.PosObjIdx, w.PosObjIdx) {
+		t.Log("POS level-2 runs diverge")
+		return false
+	}
+	if !reflect.DeepEqual(got.Stats(), want.Stats()) {
+		t.Logf("stats diverge: %+v vs %+v", got.Stats(), want.Stats())
+		return false
+	}
+	return true
+}
+
+// TestMergeFoldMatchesRebuild: on randomized add/del sets — duplicate
+// adds, adds already in base, duplicate tombstones, tombstones of
+// absent triples, and triples simultaneously tombstoned and re-added —
+// MergeFold's output is byte-identical (all three permutations, row
+// pointers, level-2 runs, statistics) to a full FromTriples rebuild of
+// the flattened (base − dels) ∪ adds slice.
+func TestMergeFoldMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randFoldCase(rand.New(rand.NewSource(seed)))
+		got, err := MergeFold(c.base, c.adds, c.dels, true)
+		if err != nil {
+			t.Logf("MergeFold: %v", err)
+			return false
+		}
+		if !got.Frozen() {
+			t.Log("MergeFold result is not frozen")
+			return false
+		}
+		return requireIdentical(t, got, rebuildReference(t, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeFoldEmptyDelta: an empty delta reproduces the base exactly
+// (a fresh store over equal arrays), and a delta against an empty base
+// is just a sorted dedup of the adds.
+func TestMergeFoldEmptyDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := foldCase{base: randFoldCase(rng).base}
+	got, err := MergeFold(c.base, nil, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !requireIdentical(t, got, rebuildReference(t, c)) {
+		t.Fatal("empty delta diverged from rebuild")
+	}
+
+	empty := New()
+	if err := empty.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	adds := []EncTriple{
+		{S: empty.Dict().Encode(tri("s1", "", "").S), P: empty.Dict().Encode(tri("p1", "", "").S), O: empty.Dict().Encode(tri("o1", "", "").S)},
+	}
+	adds = append(adds, adds[0]) // duplicate
+	onto, err := MergeFold(empty, adds, []EncTriple{{S: 1, P: 1, O: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onto.NumTriples() != 1 {
+		t.Fatalf("fold onto empty base: %d triples, want 1", onto.NumTriples())
+	}
+}
+
+// TestBuildParallelSequentialIdentical pins the determinism guarantee
+// of the concurrent permutation builds: the same input built with the
+// worker group active (GOMAXPROCS > 1) and with the inline sequential
+// path (GOMAXPROCS = 1) yields byte-identical layouts and statistics,
+// for both the bulk build and MergeFold.
+func TestBuildParallelSequentialIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := rand.New(rand.NewSource(17))
+	ts := randTriples(rng, 250)
+	build := func(procs int) (*Store, *Store) {
+		runtime.GOMAXPROCS(procs)
+		st := New()
+		st.AddAll(ts)
+		if err := st.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+		c := randFoldCase(rand.New(rand.NewSource(23)))
+		folded, err := MergeFold(c.base, c.adds, c.dels, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, folded
+	}
+	seqSt, seqFold := build(1)
+	parSt, parFold := build(4)
+	if !requireIdentical(t, parSt, seqSt) {
+		t.Error("parallel build diverges from sequential build")
+	}
+	if !requireIdentical(t, parFold, seqFold) {
+		t.Error("parallel MergeFold diverges from sequential MergeFold")
+	}
+}
+
+// TestFreezeTooManyTriplesSurfaces pins the typed-error contract
+// indirectly: ErrTooManyTriples is a sentinel callers can test with
+// errors.Is through Freeze/FromTriples/MergeFold. (A real >2^31-triple
+// load needs tens of GiB, so the limit check itself is exercised by
+// construction, not allocation.)
+func TestFreezeTooManyTriplesSurfaces(t *testing.T) {
+	if ErrTooManyTriples == nil {
+		t.Fatal("ErrTooManyTriples must be a non-nil sentinel")
+	}
+	// The happy paths return nil errors.
+	st := New()
+	st.AddAll(randTriples(rand.New(rand.NewSource(1)), 10))
+	if err := st.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if _, err := FromTriples(st.Dict(), nil, false); err != nil {
+		t.Fatalf("FromTriples: %v", err)
+	}
+	if _, err := MergeFold(st, nil, nil, false); err != nil {
+		t.Fatalf("MergeFold: %v", err)
+	}
+}

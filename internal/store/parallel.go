@@ -1,0 +1,37 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel runs independent tasks on a bounded worker group sized
+// off runtime.GOMAXPROCS(0) at call time. When a single processor is
+// available the tasks run inline in order — no goroutines, no channel
+// traffic. Tasks must be independent (no shared writes), so the output
+// is identical either way; the bulk-build paths rely on that for the
+// parallel == sequential byte-identity guarantee.
+func runParallel(tasks ...func()) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, task := range tasks {
+			task()
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(task func()) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			task()
+		}(task)
+	}
+	wg.Wait()
+}

@@ -45,7 +45,9 @@ func (st *Store) ShardBySubject(k int) ([]*Store, []ID, error) {
 	for i := 0; i < k; i++ {
 		a, b := st.spo.off[bounds[i]], st.spo.off[bounds[i+1]]
 		sub := &Store{dict: st.dict, log: append([]EncTriple(nil), st.spo.tri[a:b]...)}
-		sub.Freeze()
+		if err := sub.Freeze(); err != nil {
+			return nil, nil, fmt.Errorf("store: freezing shard %d: %w", i, err)
+		}
 		shards[i] = sub
 	}
 	return shards, bounds, nil
@@ -85,9 +87,12 @@ type ShardedStore struct {
 	bounds []ID // len(shards)+1; shard i owns subjects [bounds[i], bounds[i+1])
 	stats  *Stats
 	total  int
-	// sem bounds the extra goroutines Scatter may run; acquisition is
-	// non-blocking (callers fall back to inline work), so scatter fan-out
-	// can never deadlock however deeply queries nest.
+	// sem bounds the extra goroutines Scatter may run across concurrent
+	// callers; its capacity is the maximum ever useful (one worker per
+	// shard beyond the caller itself), while each Scatter call sizes its
+	// own fan-out budget off GOMAXPROCS at call time. Acquisition is
+	// non-blocking (callers fall back to inline work), so scatter
+	// fan-out can never deadlock however deeply queries nest.
 	sem chan struct{}
 }
 
@@ -132,19 +137,12 @@ func NewShardedStore(shards []*Store, bounds []ID, stats *Stats) (*ShardedStore,
 		}
 		total += sh.NumTriples()
 	}
-	par := runtime.GOMAXPROCS(0)
-	if par > k {
-		par = k
-	}
-	if par < 1 {
-		par = 1
-	}
 	return &ShardedStore{
 		shards: shards,
 		bounds: append([]ID(nil), bounds...),
 		stats:  stats,
 		total:  total,
-		sem:    make(chan struct{}, par-1),
+		sem:    make(chan struct{}, k-1),
 	}, nil
 }
 
@@ -167,23 +165,40 @@ func (sh *ShardedStore) ShardFor(s ID) *Store {
 	return sh.shards[i]
 }
 
-// Scatter runs f over every shard index, spawning a goroutine per index
-// while the bounded pool has capacity and running inline otherwise.
+// Scatter runs f over every shard index. The fan-out budget is sized
+// off runtime.GOMAXPROCS(0) at call time — not at construction — so a
+// process whose processor allowance changes mid-flight gets the right
+// pool on its next query. When a single processor is available (or
+// there is only one shard) every index runs inline with no goroutines
+// or channel traffic at all: the shard_scaling BENCH rows on the
+// single-core CI box showed k>1 fan-out there is pure gather overhead.
+// Otherwise a goroutine is spawned per index while both the call-time
+// budget and the shared bounded pool have capacity, inline otherwise.
 func (sh *ShardedStore) Scatter(f func(i int)) {
+	budget := runtime.GOMAXPROCS(0) - 1
+	if budget <= 0 || len(sh.shards) < 2 {
+		for i := range sh.shards {
+			f(i)
+		}
+		return
+	}
 	done := make(chan int, len(sh.shards))
 	spawned := 0
 	for i := range sh.shards {
-		select {
-		case sh.sem <- struct{}{}:
-			spawned++
-			go func(i int) {
-				defer func() { <-sh.sem }()
-				f(i)
-				done <- i
-			}(i)
-		default:
-			f(i)
+		if spawned < budget {
+			select {
+			case sh.sem <- struct{}{}:
+				spawned++
+				go func(i int) {
+					defer func() { <-sh.sem }()
+					f(i)
+					done <- i
+				}(i)
+				continue
+			default:
+			}
 		}
+		f(i)
 	}
 	for ; spawned > 0; spawned-- {
 		<-done

@@ -15,6 +15,12 @@ import (
 // route writes through the overlay subsystem instead.
 var ErrFrozen = errors.New("store: add after freeze (store is read-only)")
 
+// ErrTooManyTriples is returned by the bulk-build entry points (Freeze,
+// FromTriples, MergeFold) when the triple set would exceed the int32
+// CSR row-pointer range. A load that large is a clean failure, never a
+// server crash.
+var ErrTooManyTriples = errors.New("store: triple count exceeds int32 offset range")
+
 // EncTriple is a dictionary-encoded triple.
 type EncTriple struct {
 	S, P, O ID
@@ -273,19 +279,22 @@ func FromLayout(dict *Dict, l Layout, stats *Stats) *Store {
 // FromTriples builds a frozen store over an existing dictionary from an
 // encoded triple slice, running the same sort+compact+permute path as
 // Freeze. It takes ownership of tris (the slice is sorted in place and
-// becomes the SPO permutation). The compactor uses it to fold a merged
-// (base − tombstones) ∪ memtable triple set into a fresh immutable
-// base; withStats controls whether the O(dictionary) statistics pass
-// runs (required for query planning over the result).
-func FromTriples(dict *Dict, tris []EncTriple, withStats bool) *Store {
+// becomes the SPO permutation). withStats controls whether the
+// O(dictionary) statistics pass runs (required for query planning over
+// the result). An oversized triple set returns ErrTooManyTriples. For
+// folding a delta into an existing built base, MergeFold produces the
+// identical store without re-sorting the base.
+func FromTriples(dict *Dict, tris []EncTriple, withStats bool) (*Store, error) {
 	st := &Store{dict: dict, log: tris}
-	st.build()
+	if err := st.build(); err != nil {
+		return nil, err
+	}
 	st.frozen = true
 	st.log = nil
 	if withStats {
 		st.stats = computeStats(st)
 	}
-	return st
+	return st, nil
 }
 
 // CompareSPO orders triples by (S,P,O) — the canonical permutation order.
@@ -355,20 +364,30 @@ func (st *Store) LoadNTriples(r io.Reader) error {
 }
 
 // ensure (re)builds the permutations if the log changed since the last
-// build. Post-Freeze this is a single branch on the read path.
+// build. Post-Freeze this is a single branch on the read path. Read
+// accessors cannot return errors, so an unbuildable log (more triples
+// than the int32 offset range) panics here; the bulk-build entry points
+// (Freeze, FromTriples, MergeFold) surface the same condition as
+// ErrTooManyTriples before any read can reach it.
 func (st *Store) ensure() {
 	if st.built {
 		return
 	}
-	st.build()
+	if err := st.build(); err != nil {
+		panic(err)
+	}
 }
 
 // build sorts the ingestion log, compacts duplicates, and derives the
 // three permutations and their run indexes. The log is kept (pre-Freeze,
-// further Adds re-enter build); Freeze releases it.
-func (st *Store) build() {
+// further Adds re-enter build); Freeze releases it. The SPO sort+compact
+// runs first (it defines the canonical triple set); the three
+// per-permutation index builds then run concurrently on a worker group
+// sized off GOMAXPROCS — they write disjoint fields from disjoint
+// inputs, so the result is byte-identical to the sequential build.
+func (st *Store) build() error {
 	if len(st.log) > math.MaxInt32 {
-		panic("store: triple count exceeds int32 offset range")
+		return ErrTooManyTriples
 	}
 	maxID := st.dict.Len()
 	slices.SortFunc(st.log, cmpSPO)
@@ -382,56 +401,72 @@ func (st *Store) build() {
 	// Drop the duplicate-proportional spare capacity; spo lives for the
 	// store's lifetime and MemStats reports by length.
 	spo = slices.Clip(spo)
-	st.spo = makePerm(spo, maxID,
-		func(t EncTriple) ID { return t.S },
-		func(t EncTriple) ID { return t.O })
+	runParallel(
+		func() {
+			st.spo = makePerm(spo, maxID,
+				func(t EncTriple) ID { return t.S },
+				func(t EncTriple) ID { return t.O })
+		},
+		func() {
+			pos := append([]EncTriple(nil), spo...)
+			slices.SortFunc(pos, cmpPOS)
+			st.pos = makePerm(pos, maxID,
+				func(t EncTriple) ID { return t.P },
+				func(t EncTriple) ID { return t.S })
+			st.posObjKeys, st.posObjOff, st.posObjIdx = buildPOSRuns(pos, maxID)
+		},
+		func() {
+			osp := append([]EncTriple(nil), spo...)
+			slices.SortFunc(osp, cmpOSP)
+			st.osp = makePerm(osp, maxID,
+				func(t EncTriple) ID { return t.O },
+				func(t EncTriple) ID { return t.P })
+		},
+	)
+	st.built = true
+	return nil
+}
 
-	pos := append([]EncTriple(nil), spo...)
-	slices.SortFunc(pos, cmpPOS)
-	st.pos = makePerm(pos, maxID,
-		func(t EncTriple) ID { return t.P },
-		func(t EncTriple) ID { return t.S })
-
-	osp := append([]EncTriple(nil), spo...)
-	slices.SortFunc(osp, cmpOSP)
-	st.osp = makePerm(osp, maxID,
-		func(t EncTriple) ID { return t.O },
-		func(t EncTriple) ID { return t.P })
-
-	// Level-2 runs over POS: one entry per distinct (predicate, object)
-	// pair, in POS order. Freshly allocated each build — reusing the
-	// backing arrays would corrupt views handed out before a pre-Freeze
-	// Add triggered a rebuild.
-	st.posObjKeys = nil
-	st.posObjOff = nil
-	st.posObjIdx = make([]int32, maxID+2)
+// buildPOSRuns derives the level-2 runs over a sorted POS permutation:
+// one entry per distinct (predicate, object) pair, in POS order. The
+// arrays are freshly allocated each build — reusing backing arrays
+// would corrupt views handed out before a pre-Freeze Add triggered a
+// rebuild.
+func buildPOSRuns(pos []EncTriple, maxID int) (keys []ID, off, idx []int32) {
+	idx = make([]int32, maxID+2)
 	for i, t := range pos {
 		if i == 0 || t.P != pos[i-1].P || t.O != pos[i-1].O {
-			st.posObjKeys = append(st.posObjKeys, t.O)
-			st.posObjOff = append(st.posObjOff, int32(i))
-			st.posObjIdx[t.P+1]++
+			keys = append(keys, t.O)
+			off = append(off, int32(i))
+			idx[t.P+1]++
 		}
 	}
-	st.posObjOff = append(st.posObjOff, int32(len(pos)))
-	for i := 1; i < len(st.posObjIdx); i++ {
-		st.posObjIdx[i] += st.posObjIdx[i-1]
+	off = append(off, int32(len(pos)))
+	for i := 1; i < len(idx); i++ {
+		idx[i] += idx[i-1]
 	}
-
-	st.built = true
+	return keys, off, idx
 }
 
 // Freeze builds the permutations, computes statistics, releases the
 // ingestion log, and marks the store read-only. Queries may be run
 // before Freeze (single-threaded), but cardinality estimation requires
-// it. Freeze is idempotent.
-func (st *Store) Freeze() {
+// it. Freeze is idempotent. It returns ErrTooManyTriples — leaving the
+// store unfrozen and the log intact — if the triple set exceeds the
+// int32 offset range.
+func (st *Store) Freeze() error {
 	if st.frozen {
-		return
+		return nil
 	}
-	st.ensure()
+	if !st.built {
+		if err := st.build(); err != nil {
+			return err
+		}
+	}
 	st.frozen = true
 	st.log = nil
 	st.stats = computeStats(st)
+	return nil
 }
 
 // Stats returns the statistics collected at Freeze time, or nil if the

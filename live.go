@@ -147,7 +147,9 @@ func (db *DB) EnableLiveUpdates(opts LiveOptions) error {
 	if m == nil {
 		return fmt.Errorf("sparqluo: live updates on a sharded database are not supported: %w", ErrNotLive)
 	}
-	m.Freeze()
+	if err := m.Freeze(); err != nil {
+		return fmt.Errorf("sparqluo: freezing base for live updates: %w", err)
+	}
 	ls := overlay.New(m, overlay.Options{SnapshotPath: opts.SnapshotPath})
 	if err := db.attachWAL(ls, opts); err != nil {
 		return err
@@ -322,9 +324,12 @@ func decodeAll(r io.Reader) ([]Triple, error) {
 }
 
 // Flush synchronously compacts the memtable into the frozen base:
-// tombstones annihilate their targets, the survivors are folded in
-// with the store's sort+compact path, and (with a SnapshotPath
-// configured) the new base is persisted atomically before the swap.
+// tombstones annihilate their targets and the survivors are folded in
+// with the store's linear merge fold (store.MergeFold — each sorted
+// permutation of the base is merged with the sorted delta in one pass,
+// so fold cost is proportional to base + delta with no re-sort of the
+// base), and (with a SnapshotPath configured) the new base is
+// persisted atomically before the swap.
 // After a Flush with no concurrent writers the database is quiesced —
 // every read serves the frozen base's zero-copy paths, and results are
 // byte-identical to a freshly frozen store over the same triples.

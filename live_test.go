@@ -39,7 +39,11 @@ func liveReference(base, inserted, final []rdf.Triple) *sparqluo.DB {
 	for i, t := range final {
 		encFinal[i] = enc(t)
 	}
-	return sparqluo.FromStore(store.FromTriples(d, encFinal, true))
+	ref, err := store.FromTriples(d, encFinal, true)
+	if err != nil {
+		panic(err)
+	}
+	return sparqluo.FromStore(ref)
 }
 
 // TestLiveQuiescedEquivalence is the live-update subsystem's central
@@ -128,6 +132,20 @@ func TestLiveQuiescedEquivalence(t *testing.T) {
 	}
 	if err := live.Flush(); err != nil {
 		t.Fatal(err)
+	}
+	// The equivalence claim below is only evidence for the merge-fold
+	// compactor if folds actually ran: every Flush above routed its
+	// add/del delta through store.MergeFold, so pin that the stream
+	// compacted (several times) and fully drained.
+	stats, ok := live.LiveStats()
+	if !ok {
+		t.Fatal("LiveStats: database not live")
+	}
+	if stats.Compactions < 2 {
+		t.Fatalf("only %d compactions ran; the op stream must fold through MergeFold repeatedly", stats.Compactions)
+	}
+	if stats.MemtableOps != 0 {
+		t.Fatalf("%d memtable ops survived the final Flush", stats.MemtableOps)
 	}
 
 	var final []rdf.Triple

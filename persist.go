@@ -134,7 +134,9 @@ func OpenFile(path string) (db *DB, source string, err error) {
 	if err := db.Load(f); err != nil {
 		return nil, "", fmt.Errorf("sparqluo: loading %s: %w", path, err)
 	}
-	db.Freeze()
+	if err := db.Freeze(); err != nil {
+		return nil, "", fmt.Errorf("sparqluo: freezing %s: %w", path, err)
+	}
 	return db, "ntriples", nil
 }
 

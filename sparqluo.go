@@ -262,10 +262,14 @@ func (db *DB) AddAll(ts []Triple) error {
 // Freeze computes statistics and makes the database read-only. Queries
 // run before Freeze cannot use cost-based optimization; call it after
 // loading. Snapshot- and shard-opened databases are frozen already.
-func (db *DB) Freeze() {
+// A bulk load too large for the store's int32 index range returns an
+// error wrapping store.ErrTooManyTriples instead of crashing the
+// process; the database stays unfrozen.
+func (db *DB) Freeze() error {
 	if m := db.mem(); m != nil {
-		m.Freeze()
+		return m.Freeze()
 	}
+	return nil
 }
 
 // NumTriples returns the number of distinct triples stored.
